@@ -1,0 +1,51 @@
+// Ablation of two design choices DESIGN.md calls out:
+//  * §3.2 same-website directory collaboration (off by default): trades
+//    extra cross-locality hits for slower misses;
+//  * browser-cache retention across re-joins (the paper leaves this open):
+//    drives how fast petal content accumulates.
+//
+// Four Flower-CDN runs at P=3000 under churn, one per combination.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args =
+      bench::BenchArgs::Parse(argc, argv, /*default_population=*/3000);
+  if (args.duration == 24 * kHour) args.duration = 12 * kHour;
+
+  std::printf("=== Ablation: directory collaboration x cache retention "
+              "(Flower-CDN, P=%zu, %lld h) ===\n",
+              args.population,
+              static_cast<long long>(args.duration / kHour));
+
+  TablePrinter table({"collaboration", "retain_cache", "hit_ratio",
+                      "lookup_ms", "lookup_hits_ms", "transfer_hits_ms",
+                      "collab_hits"});
+  for (bool collab : {false, true}) {
+    for (bool retain : {true, false}) {
+      ExperimentConfig config = args.MakeConfig();
+      config.flower.enable_dir_collaboration = collab;
+      config.retain_cache_on_rejoin = retain;
+      std::fprintf(stderr, "running collab=%d retain=%d...\n", collab,
+                   retain);
+      ExperimentResult r = RunExperiment(config, SystemKind::kFlowerCdn,
+                                         bench::PrintProgressDots);
+      table.AddRow({collab ? "on" : "off", retain ? "yes" : "no",
+                    FormatDouble(r.hit_ratio, 3),
+                    FormatDouble(r.mean_lookup_ms, 0),
+                    FormatDouble(r.lookup_hits.Mean(), 0),
+                    FormatDouble(r.mean_transfer_hits_ms, 0),
+                    std::to_string(r.flower_stats.collaboration_hits)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nCSV:\n");
+  table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef FLOWERCDN_BENCH_BENCH_UTIL_H_
+#define FLOWERCDN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.h"
+
+namespace flowercdn {
+namespace bench {
+
+/// Minimal command-line knobs shared by the reproduction harnesses:
+///   --hours=N        simulated duration (default 24, as in the paper)
+///   --population=P   target population (default depends on the bench)
+///   --seed=S         RNG seed (default 42)
+/// Unknown flags abort with a usage message.
+struct BenchArgs {
+  SimDuration duration = 24 * kHour;
+  size_t population = 3000;
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv, size_t default_population) {
+    BenchArgs args;
+    args.population = default_population;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--hours=", 8) == 0) {
+        args.duration = static_cast<SimDuration>(atoll(arg + 8)) * kHour;
+      } else if (std::strncmp(arg, "--population=", 13) == 0) {
+        args.population = static_cast<size_t>(atoll(arg + 13));
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        args.seed = static_cast<uint64_t>(atoll(arg + 7));
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--hours=N] [--population=P] [--seed=S]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  ExperimentConfig MakeConfig() const {
+    ExperimentConfig config;
+    config.seed = seed;
+    config.target_population = population;
+    config.duration = duration;
+    return config;
+  }
+};
+
+inline void PrintProgressDots(SimTime now, SimTime total) {
+  std::fprintf(stderr, "  ... simulated %lld/%lld h\r",
+               static_cast<long long>(now / kHour),
+               static_cast<long long>(total / kHour));
+  if (now >= total) std::fprintf(stderr, "\n");
+}
+
+/// One-line summary of a finished run.
+inline void PrintSummary(const ExperimentResult& r) {
+  std::printf(
+      "%-10s  P=%-5zu  queries=%-6llu  hit=%.3f  lookup=%.0fms  "
+      "lookup(hits)=%.0fms  transfer(hits)=%.0fms  transfer(all)=%.0fms\n",
+      SystemKindName(r.system), r.target_population,
+      static_cast<unsigned long long>(r.total_queries), r.hit_ratio,
+      r.mean_lookup_ms, r.lookup_hits.Mean(), r.mean_transfer_hits_ms,
+      r.mean_transfer_all_ms);
+}
+
+}  // namespace bench
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Ablation of the paper's §5 maintenance protocols: how fast does a petal
+// recover its directory after the directory peer fails, as a function of
+// the gossip/keepalive period? (Table 1 uses 1 hour.)
+//
+// Method: one isolated petal, warm it up, kill the directory, measure the
+// time until (a) a replacement claims the D-ring position and (b) the
+// replacement's directory-index reaches half the pre-failure size.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "expt/env.h"
+#include "expt/flower_system.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+namespace {
+
+struct RecoveryResult {
+  double replace_minutes = -1;
+  double rebuild_minutes = -1;
+  size_t entries_before = 0;
+};
+
+RecoveryResult MeasureRecovery(SimDuration gossip_period, uint64_t seed) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.target_population = 40;
+  config.universe_factor = 1.0;
+  config.topology.num_localities = 1;
+  config.catalog.num_websites = 1;
+  config.catalog.num_active = 1;
+  config.catalog.objects_per_website = 120;
+  config.mean_uptime = 100000 * kHour;  // failures only by injection
+  config.arrival_rate_override_per_ms = 40.0 / kHour;
+  config.flower.gossip_period = gossip_period;
+  config.flower.max_directory_load = 200;
+
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(4 * kHour);
+
+  FlowerPeer* dir = system.FindDirectory(0, 0);
+  if (dir == nullptr) return {};
+  RecoveryResult result;
+  result.entries_before = dir->index().num_entries();
+  SimTime killed_at = env.sim().now();
+  system.InjectFailure(dir->self());
+
+  // Sample every simulated minute.
+  while (env.sim().now() < killed_at + 8 * kHour) {
+    env.sim().RunUntil(env.sim().now() + kMinute);
+    FlowerPeer* replacement = system.FindDirectory(0, 0);
+    if (replacement == nullptr) continue;
+    if (result.replace_minutes < 0) {
+      result.replace_minutes =
+          static_cast<double>(env.sim().now() - killed_at) / kMinute;
+    }
+    if (replacement->index().num_entries() >= result.entries_before / 2) {
+      result.rebuild_minutes =
+          static_cast<double>(env.sim().now() - killed_at) / kMinute;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args =
+      bench::BenchArgs::Parse(argc, argv, /*default_population=*/40);
+  (void)args;
+
+  std::printf("=== Maintenance ablation: directory recovery vs "
+              "gossip/keepalive period ===\n");
+  TablePrinter table({"gossip_period_min", "replace_min", "index_50pct_min",
+                      "entries_before"});
+  for (SimDuration period :
+       {10 * kMinute, 30 * kMinute, 60 * kMinute, 120 * kMinute}) {
+    std::fprintf(stderr, "running period=%lld min...\n",
+                 static_cast<long long>(period / kMinute));
+    RecoveryResult r = MeasureRecovery(period, /*seed=*/42);
+    table.AddRow({std::to_string(period / kMinute),
+                  r.replace_minutes < 0 ? "never"
+                                        : FormatDouble(r.replace_minutes, 1),
+                  r.rebuild_minutes < 0 ? ">480"
+                                        : FormatDouble(r.rebuild_minutes, 1),
+                  std::to_string(r.entries_before)});
+  }
+  table.Print(std::cout);
+  std::printf("\nCSV:\n");
+  table.PrintCsv(std::cout);
+  std::printf(
+      "\nExpectation: detection is driven by queries and keepalives, so "
+      "recovery happens within minutes even at the paper's 1-hour period; "
+      "shorter periods speed up index rebuild (pushes re-register "
+      "content).\n");
+  return 0;
+}

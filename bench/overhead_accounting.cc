@@ -1,0 +1,62 @@
+// Overhead accounting — the paper's design goal of "maintaining an
+// acceptable level of performance ... while minimizing the incurred
+// overhead" (§1). Measures total and per-peer protocol traffic of
+// Flower-CDN vs Squirrel under identical workloads and churn, split by
+// protocol family (DHT maintenance, gossip, application).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args =
+      bench::BenchArgs::Parse(argc, argv, /*default_population=*/2000);
+  if (args.duration == 24 * kHour) args.duration = 12 * kHour;
+
+  std::printf("=== Protocol overhead (P=%zu, %lld h, churn m=60 min) ===\n",
+              args.population,
+              static_cast<long long>(args.duration / kHour));
+
+  TablePrinter table({"approach", "msgs_total", "dht_msgs", "gossip_msgs",
+                      "app_msgs", "MB_total", "B_per_peer_per_s",
+                      "msgs_per_query"});
+  for (SystemKind kind : {SystemKind::kFlowerCdn, SystemKind::kSquirrel}) {
+    ExperimentConfig config = args.MakeConfig();
+    std::fprintf(stderr, "running %s...\n", SystemKindName(kind));
+    ExperimentResult r =
+        RunExperiment(config, kind, bench::PrintProgressDots);
+    double seconds = static_cast<double>(config.duration) / kSecond;
+    double per_peer_bps =
+        static_cast<double>(r.bytes_sent) /
+        (seconds * static_cast<double>(config.target_population));
+    uint64_t app_msgs = kind == SystemKind::kFlowerCdn
+                            ? r.traffic.flower_messages
+                            : r.traffic.squirrel_messages;
+    table.AddRow(
+        {SystemKindName(kind), std::to_string(r.messages_sent),
+         std::to_string(r.traffic.chord_messages),
+         std::to_string(r.traffic.gossip_messages), std::to_string(app_msgs),
+         FormatDouble(static_cast<double>(r.bytes_sent) / (1024.0 * 1024.0),
+                      1),
+         FormatDouble(per_peer_bps, 1),
+         FormatDouble(r.total_queries
+                          ? static_cast<double>(r.messages_sent) /
+                                static_cast<double>(r.total_queries)
+                          : 0.0,
+                      1)});
+  }
+
+  table.Print(std::cout);
+  std::printf("\nCSV:\n");
+  table.PrintCsv(std::cout);
+  std::printf(
+      "\nExpectation: Squirrel pays full-DHT maintenance for every peer "
+      "(P ring members), while Flower-CDN's D-ring only contains k*|W| "
+      "directory peers and petal gossip covers close vicinities — an "
+      "order of magnitude less traffic for the same workload.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Supplementary baseline comparison: the paper's §2 describes two DHT web
+// caching strategies — home-store replication ("objects at the peer with
+// ID closest to hash(url), no locality/interest considerations") and the
+// downloader directory Squirrel uses. This bench runs both against
+// Flower-CDN under the paper's churn.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args =
+      bench::BenchArgs::Parse(argc, argv, /*default_population=*/2000);
+  if (args.duration == 24 * kHour) args.duration = 12 * kHour;
+
+  std::printf("=== Baselines: Squirrel directory vs home-store vs "
+              "Flower-CDN (P=%zu, %lld h) ===\n",
+              args.population,
+              static_cast<long long>(args.duration / kHour));
+
+  TablePrinter table({"approach", "hit_ratio", "lookup_ms", "transfer_ms",
+                      "messages"});
+
+  for (SquirrelMode mode :
+       {SquirrelMode::kDirectory, SquirrelMode::kHomeStore}) {
+    ExperimentConfig config = args.MakeConfig();
+    config.squirrel.mode = mode;
+    std::fprintf(stderr, "running squirrel %s...\n", SquirrelModeName(mode));
+    ExperimentResult r = RunExperiment(config, SystemKind::kSquirrel,
+                                       bench::PrintProgressDots);
+    table.AddRow({std::string("squirrel-") + SquirrelModeName(mode),
+                  FormatDouble(r.hit_ratio, 3),
+                  FormatDouble(r.mean_lookup_ms, 0),
+                  FormatDouble(r.mean_transfer_hits_ms, 0),
+                  std::to_string(r.messages_sent)});
+  }
+  {
+    ExperimentConfig config = args.MakeConfig();
+    std::fprintf(stderr, "running flower-cdn...\n");
+    ExperimentResult r = RunExperiment(config, SystemKind::kFlowerCdn,
+                                       bench::PrintProgressDots);
+    table.AddRow({"flower-cdn", FormatDouble(r.hit_ratio, 3),
+                  FormatDouble(r.mean_lookup_ms, 0),
+                  FormatDouble(r.mean_transfer_hits_ms, 0),
+                  std::to_string(r.messages_sent)});
+  }
+
+  table.Print(std::cout);
+  std::printf("\nCSV:\n");
+  table.PrintCsv(std::cout);
+  std::printf("\nExpectation: home-store survives churn a bit differently "
+              "(replicas die with homes but handoff moves them on joins) "
+              "yet both baselines stay far from Flower-CDN's "
+              "locality-aware latencies.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Churn storm scenario — the paper's §5 maintenance protocols at work.
+// A petal loses its directory peer again and again (we inject failures on
+// top of already-heavy ambient churn), and the petal keeps healing: a
+// content peer detects the failure via keepalive/query timeouts, claims the
+// vacant D-ring position, and pushes rebuild the directory-index.
+
+#include <cstdio>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+
+using namespace flowercdn;
+
+int main() {
+  ExperimentConfig config;
+  config.seed = 4;
+  config.target_population = 400;
+  config.catalog.num_websites = 4;
+  config.catalog.num_active = 2;
+  // Twice the paper's churn: mean uptime 30 minutes.
+  config.mean_uptime = 30 * kMinute;
+  config.duration = 10 * kHour;
+  // Faster petal maintenance than Table 1 so the narrative fits 10 hours.
+  config.flower.gossip_period = 20 * kMinute;
+
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+
+  std::printf("Churn storm: mean uptime 30 min (2x the paper's churn), plus "
+              "a forced kill of one active petal's directory every hour.\n\n");
+
+  WebsiteId ws = 0;
+  LocalityId loc = 0;
+  for (int hour = 1; hour <= 10; ++hour) {
+    env.sim().RunUntil(static_cast<SimTime>(hour) * kHour);
+    FlowerPeer* dir = system.FindDirectory(ws, loc);
+    size_t index_entries = dir != nullptr ? dir->index().num_entries() : 0;
+    size_t view_size = dir != nullptr ? dir->view().size() : 0;
+    const MetricsCollector& metrics = env.metrics();
+    auto stats = system.ComputeStats();
+    std::printf("hour %2d | petal(0,0) dir=%-6llu index=%-4zu view=%-3zu | "
+                "cumulative hit=%.2f | failovers detected=%llu\n",
+                hour,
+                static_cast<unsigned long long>(dir ? dir->self() : 0),
+                index_entries, view_size, metrics.HitRatio(),
+                static_cast<unsigned long long>(stats.dir_failures_detected));
+    if (dir != nullptr) {
+      system.InjectFailure(dir->self());
+      std::printf("         >>> killed directory peer %llu\n",
+                  static_cast<unsigned long long>(dir->self()));
+    }
+  }
+
+  const MetricsCollector& metrics = env.metrics();
+  std::printf("\nDespite the storm the hit ratio kept climbing: %.2f after "
+              "%llu queries.\n",
+              metrics.HitRatio(),
+              static_cast<unsigned long long>(metrics.total_queries()));
+  std::printf("That is the paper's point: directory state is reconstructible "
+              "from the petal (push + gossip), never a single point of "
+              "loss.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Semantic search — the paper's §7 future work ("we plan to explore
+// sophisticated search functionalities wrt semantic and personalized
+// search"), built on Flower-CDN's existing machinery: every object carries
+// deterministic keywords; a content peer asks its directory peer which
+// petal-indexed objects match a keyword, then fetches one from the
+// returned provider.
+
+#include <cstdio>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+#include "storage/keywords.h"
+
+using namespace flowercdn;
+
+int main() {
+  ExperimentConfig config;
+  config.seed = 5;
+  config.target_population = 120;
+  config.universe_factor = 1.0;
+  config.topology.num_localities = 2;
+  config.catalog.num_websites = 2;
+  config.catalog.num_active = 2;
+  config.catalog.objects_per_website = 150;
+  config.mean_uptime = 100000 * kHour;
+  config.arrival_rate_override_per_ms = 120.0 / kHour;
+  config.flower.max_directory_load = 200;
+
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(4 * kHour);
+
+  std::printf("Petals warmed up for 4 hours; directory indexes are "
+              "populated.\n\n");
+
+  // Pick a content peer of website 0 / locality 0.
+  FlowerPeer* searcher = nullptr;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    FlowerPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr && s->role() == FlowerRole::kContentPeer &&
+        s->website() == 0 && s->locality() == 0) {
+      searcher = s;
+      break;
+    }
+  }
+  if (searcher == nullptr) {
+    std::printf("no content peer available\n");
+    return 1;
+  }
+
+  KeywordModel keywords;  // the same deterministic model the peers use
+  for (KeywordId keyword : {KeywordId{3}, KeywordId{17}, KeywordId{42}}) {
+    std::printf("peer %llu searches keyword #%u in petal(ws=0, loc=0):\n",
+                static_cast<unsigned long long>(searcher->self()), keyword);
+    searcher->SearchByKeyword(
+        keyword, [&](const Status& status,
+                     std::vector<FlowerPeer::KeywordMatch> matches) {
+          if (!status.ok()) {
+            std::printf("  search failed: %s\n", status.ToString().c_str());
+            return;
+          }
+          std::printf("  %zu matching objects indexed in the petal\n",
+                      matches.size());
+          for (size_t i = 0; i < matches.size() && i < 4; ++i) {
+            std::printf("    %s  (provider: peer %llu, keywords:",
+                        matches[i].object.Url().c_str(),
+                        static_cast<unsigned long long>(
+                            matches[i].provider));
+            for (KeywordId k : keywords.KeywordsOf(matches[i].object)) {
+              std::printf(" #%u", k);
+            }
+            std::printf(")\n");
+          }
+        });
+    env.sim().RunUntil(env.sim().now() + kMinute);  // let the RPC complete
+  }
+
+  std::printf("\nSearches resolve in one petal-local round trip — the same "
+              "locality-aware path regular queries use.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot the CSV series written by `flowercdn-sim --csv=PREFIX`.
+
+Usage:
+    tools/flowercdn-sim --system=flower   --csv=flower   [options]
+    tools/flowercdn-sim --system=squirrel --csv=squirrel [options]
+    scripts/plot_results.py flower squirrel -o plots/
+
+Produces the paper's three figures from any number of labeled runs:
+  fig3_hit_ratio.png          cumulative hit ratio per hour
+  fig4_lookup_latency.png     lookup latency CDF (all queries)
+  fig5_transfer_distance.png  transfer distance CDF (hits)
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def load_run(prefix):
+    return {
+        "label": os.path.basename(prefix),
+        "timeseries": read_csv(prefix + ".timeseries.csv"),
+        "lookup": read_csv(prefix + ".lookup.csv"),
+        "transfer": read_csv(prefix + ".transfer.csv"),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prefixes", nargs="+",
+                        help="CSV prefixes written by flowercdn-sim --csv=")
+    parser.add_argument("-o", "--outdir", default=".")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    runs = [load_run(p) for p in args.prefixes]
+    os.makedirs(args.outdir, exist_ok=True)
+
+    # Fig. 3: cumulative hit ratio over time.
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for run in runs:
+        hours = [int(r["hour"]) for r in run["timeseries"]]
+        ratio = [float(r["cumulative_ratio"]) for r in run["timeseries"]]
+        ax.plot(hours, ratio, marker="o", markersize=3, label=run["label"])
+    ax.set_xlabel("simulated hours")
+    ax.set_ylabel("cumulative hit ratio")
+    ax.set_ylim(0, 1)
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(args.outdir, "fig3_hit_ratio.png"), dpi=150)
+
+    # Fig. 4: lookup latency CDF (all queries).
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for run in runs:
+        edges = [float(r["latency_ms_upper"]) for r in run["lookup"]]
+        cdf = [float(r["cdf_all"]) for r in run["lookup"]]
+        ax.plot(edges, cdf, label=run["label"])
+    ax.set_xlabel("lookup latency (ms)")
+    ax.set_ylabel("fraction of queries")
+    ax.set_ylim(0, 1)
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(args.outdir, "fig4_lookup_latency.png"), dpi=150)
+
+    # Fig. 5: transfer distance CDF (hits).
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for run in runs:
+        edges = [float(r["distance_ms_upper"]) for r in run["transfer"]]
+        cdf = [float(r["cdf_hits"]) for r in run["transfer"]]
+        ax.plot(edges, cdf, label=run["label"])
+    ax.set_xlabel("transfer distance (ms)")
+    ax.set_ylabel("fraction of served queries")
+    ax.set_ylim(0, 1)
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(args.outdir, "fig5_transfer_distance.png"),
+                dpi=150)
+
+    print(f"wrote 3 figures to {args.outdir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#include "chord/finger_table.h"
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+FingerTable::FingerTable(ChordId self, int count) : self_(self) {
+  FLOWERCDN_CHECK(count >= 1 && count <= 64);
+  low_bit_ = 64 - count;
+  entries_.resize(count);
+}
+
+ChordId FingerTable::TargetOf(int j) const {
+  FLOWERCDN_CHECK(j >= 0 && j < size());
+  return self_ + (ChordId{1} << (low_bit_ + j));  // modular add
+}
+
+void FingerTable::ClearAll() {
+  for (auto& e : entries_) e.reset();
+}
+
+int FingerTable::RemovePeer(PeerId peer) {
+  int removed = 0;
+  for (auto& e : entries_) {
+    if (e.has_value() && e->peer == peer) {
+      e.reset();
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::optional<RingPeer> FingerTable::ClosestPreceding(ChordId key) const {
+  for (int j = size() - 1; j >= 0; --j) {
+    const auto& e = entries_[j];
+    if (e.has_value() && InIntervalOpenOpen(e->id, self_, key)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+int FingerTable::populated() const {
+  int n = 0;
+  for (const auto& e : entries_) n += e.has_value() ? 1 : 0;
+  return n;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,51 @@
+#ifndef FLOWERCDN_CHORD_FINGER_TABLE_H_
+#define FLOWERCDN_CHORD_FINGER_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "chord/id.h"
+
+namespace flowercdn {
+
+/// Chord finger table holding long-range routing shortcuts. Finger j aims
+/// at successor(self + 2^(64 - count + j)): we only keep the top `count`
+/// fingers because for realistic ring populations (<= a few million nodes)
+/// all lower fingers collapse onto the immediate successor.
+class FingerTable {
+ public:
+  /// `count` in [1, 64].
+  FingerTable(ChordId self, int count);
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  /// Ring point finger j aims at.
+  ChordId TargetOf(int j) const;
+
+  const std::optional<RingPeer>& entry(int j) const { return entries_[j]; }
+
+  void Set(int j, RingPeer peer) { entries_[j] = peer; }
+  void Clear(int j) { entries_[j].reset(); }
+  void ClearAll();
+
+  /// Drops every entry pointing at `peer` (called when the peer is
+  /// detected dead). Returns how many entries were cleared.
+  int RemovePeer(PeerId peer);
+
+  /// The finger with the highest id strictly inside (self, key): the
+  /// classic closest_preceding_finger step. Empty when no finger helps
+  /// (caller then falls back to its successor).
+  std::optional<RingPeer> ClosestPreceding(ChordId key) const;
+
+  /// Number of populated entries.
+  int populated() const;
+
+ private:
+  ChordId self_;
+  int low_bit_;  // finger j targets self + 2^(low_bit_ + j)
+  std::vector<std::optional<RingPeer>> entries_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_CHORD_FINGER_TABLE_H_

@@ -1,0 +1,44 @@
+#ifndef FLOWERCDN_CHORD_ID_H_
+#define FLOWERCDN_CHORD_ID_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.h"
+
+namespace flowercdn {
+
+/// Position on the Chord identifier circle. We use the full 64-bit space
+/// (the paper's D-ring key management only needs ordering and adjacency,
+/// which any width provides).
+using ChordId = uint64_t;
+
+/// A reference to a ring member: its network identity plus ring position.
+struct RingPeer {
+  PeerId peer = kInvalidPeer;
+  ChordId id = 0;
+
+  friend bool operator==(const RingPeer& a, const RingPeer& b) {
+    return a.peer == b.peer && a.id == b.id;
+  }
+};
+
+/// True iff x lies in the half-open ring interval (a, b], walking clockwise
+/// from a. When a == b the interval covers the whole circle (single-node
+/// ring owns every key) — the Chord convention.
+bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b);
+
+/// True iff x lies in the open ring interval (a, b). When a == b the
+/// interval is the whole circle minus the point a itself.
+bool InIntervalOpenOpen(ChordId x, ChordId a, ChordId b);
+
+/// Clockwise distance from `from` to `to` (0 when equal).
+ChordId RingDistance(ChordId from, ChordId to);
+
+/// Hashes an arbitrary name onto the ring (used by Squirrel for object home
+/// nodes and for hashing peer identities).
+ChordId ChordHash(std::string_view name);
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_CHORD_ID_H_

@@ -1,0 +1,129 @@
+#ifndef FLOWERCDN_CHORD_MESSAGES_H_
+#define FLOWERCDN_CHORD_MESSAGES_H_
+
+#include <vector>
+
+#include "chord/id.h"
+#include "sim/message.h"
+
+namespace flowercdn {
+
+/// Wire messages of the Chord protocol (range [kChordMessageBase,
+/// kChordMessageBase + 100)).
+enum ChordMessageType : MessageType {
+  kChordFindSuccessor = kChordMessageBase + 0,
+  kChordForwardAck = kChordMessageBase + 1,
+  kChordLookupResult = kChordMessageBase + 2,
+  kChordGetNeighbors = kChordMessageBase + 3,
+  kChordNeighborsReply = kChordMessageBase + 4,
+  kChordNotify = kChordMessageBase + 5,
+  kChordNotifyReply = kChordMessageBase + 6,
+  kChordGetFingers = kChordMessageBase + 7,
+  kChordFingersReply = kChordMessageBase + 8,
+  kChordPing = kChordMessageBase + 9,
+  kChordPong = kChordMessageBase + 10,
+  kChordLeave = kChordMessageBase + 11,
+};
+
+/// True if `t` belongs to the Chord protocol range.
+inline bool IsChordMessage(MessageType t) {
+  return t >= kChordMessageBase && t < kChordMessageBase + 100;
+}
+
+/// Recursive lookup step: forwarded hop by hop toward successor(key). The
+/// receiving hop immediately acks (failure detection) and either answers
+/// the origin directly or forwards further.
+struct ChordFindSuccessorMsg : Message {
+  ChordFindSuccessorMsg() { type = kChordFindSuccessor; }
+  size_t SizeBytes() const override { return kHeaderBytes + 28; }
+  ChordId key = 0;
+  PeerId origin = kInvalidPeer;
+  uint64_t lookup_id = 0;
+  int hops = 0;
+};
+
+/// Per-hop ack for a forwarded ChordFindSuccessorMsg.
+struct ChordForwardAckMsg : Message {
+  ChordForwardAckMsg() { type = kChordForwardAck; }
+};
+
+/// Final answer of a lookup, sent directly to the origin.
+struct ChordLookupResultMsg : Message {
+  ChordLookupResultMsg() { type = kChordLookupResult; }
+  size_t SizeBytes() const override { return kHeaderBytes + 28; }
+  uint64_t lookup_id = 0;
+  RingPeer owner;
+  int hops = 0;
+};
+
+/// Stabilization probe: "who is your predecessor, and give me your
+/// successor list" in one round trip.
+struct ChordGetNeighborsMsg : Message {
+  ChordGetNeighborsMsg() { type = kChordGetNeighbors; }
+};
+
+struct ChordNeighborsReplyMsg : Message {
+  ChordNeighborsReplyMsg() { type = kChordNeighborsReply; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 17 + 16 * successors.size();
+  }
+  bool has_predecessor = false;
+  RingPeer predecessor;
+  std::vector<RingPeer> successors;
+};
+
+/// "I believe I am your predecessor."
+struct ChordNotifyMsg : Message {
+  ChordNotifyMsg() { type = kChordNotify; }
+  ChordId notifier_id = 0;
+};
+
+struct ChordNotifyReplyMsg : Message {
+  ChordNotifyReplyMsg() { type = kChordNotifyReply; }
+  /// Set when the notifier's ring id equals the receiver's: two peers
+  /// claimed the same deterministic D-ring position (the join race of
+  /// §5.2.2); the notifier must abort its join.
+  bool duplicate_id = false;
+  /// The receiver's predecessor after processing the notify. When it is
+  /// not the notifier itself, a closer peer sits between the two — the
+  /// notifier adopts it immediately instead of waiting a stabilize period.
+  bool has_predecessor = false;
+  RingPeer predecessor;
+};
+
+/// Finger-table warm start for a fresh joiner.
+struct ChordGetFingersMsg : Message {
+  ChordGetFingersMsg() { type = kChordGetFingers; }
+};
+
+struct ChordFingersReplyMsg : Message {
+  ChordFingersReplyMsg() { type = kChordFingersReply; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 16 * fingers.size();
+  }
+  std::vector<RingPeer> fingers;  // populated entries only
+};
+
+struct ChordPingMsg : Message {
+  ChordPingMsg() { type = kChordPing; }
+};
+
+struct ChordPongMsg : Message {
+  ChordPongMsg() { type = kChordPong; }
+};
+
+/// Graceful departure: hands neighbors the leaver's links so the ring heals
+/// without waiting for timeouts.
+struct ChordLeaveMsg : Message {
+  ChordLeaveMsg() { type = kChordLeave; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 17 + 16 * successors.size();
+  }
+  bool has_predecessor = false;
+  RingPeer predecessor;
+  std::vector<RingPeer> successors;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_CHORD_MESSAGES_H_

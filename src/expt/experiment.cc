@@ -1,0 +1,80 @@
+#include "expt/experiment.h"
+
+#include <memory>
+
+#include "expt/env.h"
+
+namespace flowercdn {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kFlowerCdn:
+      return "Flower-CDN";
+    case SystemKind::kSquirrel:
+      return "Squirrel";
+  }
+  return "?";
+}
+
+ExperimentResult RunExperiment(
+    const ExperimentConfig& config, SystemKind kind,
+    const std::function<void(SimTime now, SimTime total)>& progress) {
+  ExperimentEnv env(config);
+  std::unique_ptr<FlowerSystem> flower;
+  std::unique_ptr<SquirrelSystem> squirrel;
+  if (kind == SystemKind::kFlowerCdn) {
+    flower = std::make_unique<FlowerSystem>(&env, config.flower);
+    flower->Setup();
+  } else {
+    squirrel = std::make_unique<SquirrelSystem>(&env, config.squirrel);
+    squirrel->Setup();
+  }
+
+  for (SimTime t = kHour; t <= config.duration; t += kHour) {
+    env.sim().RunUntil(t);
+    if (progress) progress(t, config.duration);
+  }
+  env.sim().RunUntil(config.duration);
+
+  ExperimentResult result;
+  result.system = kind;
+  result.target_population = config.target_population;
+
+  const MetricsCollector& metrics = env.metrics();
+  result.hit_ratio = metrics.HitRatio();
+  result.mean_lookup_ms = metrics.MeanLookupMs();
+  result.mean_transfer_hits_ms = metrics.MeanTransferHitsMs();
+  result.mean_transfer_all_ms = metrics.MeanTransferMs();
+  result.total_queries = metrics.total_queries();
+  result.hits = metrics.hits();
+  result.new_client_queries = metrics.new_client_queries();
+  result.new_client_hits = metrics.new_client_hits();
+  result.mean_new_client_lookup_ms = metrics.MeanNewClientLookupMs();
+  result.mean_established_lookup_ms = metrics.MeanEstablishedLookupMs();
+  result.lookup_all = metrics.lookup_all();
+  result.lookup_hits = metrics.lookup_hits();
+  result.transfer_all = metrics.transfer_all();
+  result.transfer_hits = metrics.transfer_hits();
+  result.time_series = metrics.TimeSeries();
+  result.cumulative_hit_ratio = metrics.CumulativeHitRatioSeries();
+
+  result.messages_sent = env.network().messages_sent();
+  result.messages_dropped = env.network().messages_dropped();
+  result.bytes_sent = env.network().bytes_sent();
+  result.traffic = env.network().traffic();
+  result.churn_arrivals = env.churn().total_arrivals();
+  result.churn_failures = env.churn().total_failures();
+  result.final_population = env.network().alive_count();
+  result.events_processed = env.sim().events_processed();
+
+  if (flower != nullptr) {
+    result.flower_stats = flower->ComputeStats();
+    result.load_samples = flower->load_samples();
+  }
+  if (squirrel != nullptr) {
+    result.squirrel_stats = squirrel->ComputeStats();
+  }
+  return result;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,75 @@
+#ifndef FLOWERCDN_EXPT_EXPERIMENT_H_
+#define FLOWERCDN_EXPT_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expt/config.h"
+#include "expt/flower_system.h"
+#include "expt/squirrel_system.h"
+#include "metrics/metrics.h"
+#include "util/histogram.h"
+
+namespace flowercdn {
+
+/// Which CDN protocol an experiment runs.
+enum class SystemKind { kFlowerCdn, kSquirrel };
+
+const char* SystemKindName(SystemKind kind);
+
+/// Everything a benchmark harness needs to print the paper's tables and
+/// figures for one (system, configuration) run.
+struct ExperimentResult {
+  SystemKind system = SystemKind::kFlowerCdn;
+  size_t target_population = 0;
+
+  // Headline metrics (Table 2 row).
+  double hit_ratio = 0;
+  double mean_lookup_ms = 0;
+  double mean_transfer_hits_ms = 0;
+  double mean_transfer_all_ms = 0;
+  uint64_t total_queries = 0;
+  uint64_t hits = 0;
+  uint64_t new_client_queries = 0;
+  uint64_t new_client_hits = 0;
+  double mean_new_client_lookup_ms = 0;
+  double mean_established_lookup_ms = 0;
+
+  // Distributions (Figs. 4, 5).
+  Histogram lookup_all{50.0, 60};
+  Histogram lookup_hits{50.0, 60};
+  Histogram transfer_all{20.0, 30};
+  Histogram transfer_hits{20.0, 30};
+
+  // Hit ratio over time (Fig. 3).
+  std::vector<MetricsCollector::TimePoint> time_series;
+  std::vector<double> cumulative_hit_ratio;
+
+  // Environment accounting.
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+  Network::TrafficBreakdown traffic;
+  uint64_t churn_arrivals = 0;
+  uint64_t churn_failures = 0;
+  size_t final_population = 0;
+  uint64_t events_processed = 0;
+
+  // Flower-specific protocol stats (zeroed for Squirrel runs).
+  FlowerSystem::Stats flower_stats;
+  std::vector<FlowerSystem::LoadSample> load_samples;
+
+  // Squirrel-specific protocol stats (zeroed for Flower runs).
+  SquirrelSystem::Stats squirrel_stats;
+};
+
+/// Runs one full simulated deployment of `kind` under `config`.
+/// `progress`, when set, is invoked after every simulated hour.
+ExperimentResult RunExperiment(
+    const ExperimentConfig& config, SystemKind kind,
+    const std::function<void(SimTime now, SimTime total)>& progress = {});
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_EXPT_EXPERIMENT_H_

@@ -1,0 +1,74 @@
+#include "flower/directory_index.h"
+
+#include <algorithm>
+
+namespace flowercdn {
+
+namespace {
+const std::vector<PeerId> kNoProviders;
+}  // namespace
+
+void DirectoryIndex::Add(PeerId peer, const ObjectId& object) {
+  uint64_t packed = object.Packed();
+  std::vector<PeerId>& list = providers_[packed];
+  if (std::find(list.begin(), list.end(), peer) != list.end()) return;
+  list.push_back(peer);
+  by_peer_[peer].push_back(packed);
+  ++num_entries_;
+}
+
+void DirectoryIndex::ReplacePeerObjects(PeerId peer,
+                                        const std::vector<ObjectId>& objects) {
+  RemovePeer(peer);
+  for (const ObjectId& o : objects) Add(peer, o);
+}
+
+void DirectoryIndex::RemovePeer(PeerId peer) {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return;
+  for (uint64_t packed : it->second) RemovePeerFromObject(peer, packed);
+  num_entries_ -= it->second.size();
+  by_peer_.erase(it);
+}
+
+void DirectoryIndex::RemovePeerFromObject(PeerId peer, uint64_t packed) {
+  auto it = providers_.find(packed);
+  if (it == providers_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove(list.begin(), list.end(), peer), list.end());
+  if (list.empty()) providers_.erase(it);
+}
+
+const std::vector<PeerId>& DirectoryIndex::Providers(
+    const ObjectId& object) const {
+  auto it = providers_.find(object.Packed());
+  return it == providers_.end() ? kNoProviders : it->second;
+}
+
+void DirectoryIndex::Clear() {
+  providers_.clear();
+  by_peer_.clear();
+  num_entries_ = 0;
+}
+
+DirectoryIndex::Snapshot DirectoryIndex::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.peers.reserve(by_peer_.size());
+  for (const auto& [peer, packed_list] : by_peer_) {
+    std::vector<ObjectId> objects;
+    objects.reserve(packed_list.size());
+    for (uint64_t packed : packed_list) {
+      objects.push_back(ObjectId::FromPacked(packed));
+    }
+    snapshot.peers.emplace_back(peer, std::move(objects));
+  }
+  return snapshot;
+}
+
+void DirectoryIndex::Restore(const Snapshot& snapshot) {
+  for (const auto& [peer, objects] : snapshot.peers) {
+    ReplacePeerObjects(peer, objects);
+  }
+}
+
+}  // namespace flowercdn

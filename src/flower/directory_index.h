@@ -1,0 +1,65 @@
+#ifndef FLOWERCDN_FLOWER_DIRECTORY_INDEX_H_
+#define FLOWERCDN_FLOWER_DIRECTORY_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+#include "storage/object_id.h"
+
+namespace flowercdn {
+
+/// The directory-index (ws, loc) a directory peer maintains: which content
+/// peers of its petal hold which objects (paper §3.2). Fed by push messages
+/// and query admissions, pruned when content peers expire or fail.
+class DirectoryIndex {
+ public:
+  /// Registers one object for a content peer.
+  void Add(PeerId peer, const ObjectId& object);
+
+  /// Replaces a content peer's object set with a freshly pushed full list.
+  void ReplacePeerObjects(PeerId peer, const std::vector<ObjectId>& objects);
+
+  /// Forgets a content peer entirely (expiry, failure, promotion).
+  void RemovePeer(PeerId peer);
+
+  bool ContainsPeer(PeerId peer) const { return by_peer_.count(peer) > 0; }
+
+  /// Content peers known to hold `object` (possibly stale). Empty vector
+  /// reference when unknown.
+  const std::vector<PeerId>& Providers(const ObjectId& object) const;
+
+  /// Iterates every indexed object with its provider list (used by the
+  /// keyword-search extension and diagnostics).
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    for (const auto& [packed, providers] : providers_) {
+      fn(ObjectId::FromPacked(packed), providers);
+    }
+  }
+
+  size_t num_peers() const { return by_peer_.size(); }
+  size_t num_indexed_objects() const { return providers_.size(); }
+  /// Total (peer, object) pointers held.
+  size_t num_entries() const { return num_entries_; }
+
+  void Clear();
+
+  /// Snapshot for directory handoff on a voluntary leave (§5.2.2).
+  struct Snapshot {
+    std::vector<std::pair<PeerId, std::vector<ObjectId>>> peers;
+  };
+  Snapshot TakeSnapshot() const;
+  void Restore(const Snapshot& snapshot);
+
+ private:
+  void RemovePeerFromObject(PeerId peer, uint64_t packed);
+
+  std::unordered_map<uint64_t, std::vector<PeerId>> providers_;
+  std::unordered_map<PeerId, std::vector<uint64_t>> by_peer_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_FLOWER_DIRECTORY_INDEX_H_

@@ -1,0 +1,54 @@
+#include "flower/dring.h"
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+DRingKeyspace::DRingKeyspace(int num_websites, int num_localities,
+                             int max_instances)
+    : num_websites_(num_websites),
+      num_localities_(num_localities),
+      max_instances_(max_instances) {
+  FLOWERCDN_CHECK(num_websites >= 1);
+  FLOWERCDN_CHECK(num_localities >= 1);
+  FLOWERCDN_CHECK(max_instances >= 1);
+  total_ = static_cast<uint64_t>(num_websites) * num_localities *
+           max_instances;
+}
+
+ChordId DRingKeyspace::IdOf(WebsiteId ws, LocalityId loc,
+                            int instance) const {
+  FLOWERCDN_CHECK(static_cast<int>(ws) < num_websites_);
+  FLOWERCDN_CHECK(loc >= 0 && loc < num_localities_);
+  FLOWERCDN_CHECK(instance >= 0 && instance < max_instances_);
+  uint64_t index =
+      (static_cast<uint64_t>(ws) * num_localities_ + loc) * max_instances_ +
+      instance;
+  // Spread indices uniformly over the 64-bit circle:
+  // id = floor(index * 2^64 / total).
+  __uint128_t spread = (static_cast<__uint128_t>(index) << 64) / total_;
+  return static_cast<ChordId>(spread);
+}
+
+std::optional<DRingKeyspace::Position> DRingKeyspace::PositionOf(
+    ChordId id) const {
+  // Invert the spread: index = ceil(id * total / 2^64) checked exactly.
+  __uint128_t product = static_cast<__uint128_t>(id) * total_;
+  uint64_t index = static_cast<uint64_t>(product >> 64);
+  // Candidate indices (rounding can land one off).
+  for (uint64_t candidate :
+       {index, index + 1 < total_ ? index + 1 : index}) {
+    __uint128_t spread = (static_cast<__uint128_t>(candidate) << 64) / total_;
+    if (static_cast<ChordId>(spread) == id) {
+      Position pos;
+      pos.instance = static_cast<int>(candidate % max_instances_);
+      uint64_t rest = candidate / max_instances_;
+      pos.locality = static_cast<LocalityId>(rest % num_localities_);
+      pos.website = static_cast<WebsiteId>(rest / num_localities_);
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,65 @@
+#include "flower/dring_resolver.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+DRingResolver::DRingResolver(Network* network, PeerId self)
+    : network_(network), self_(self), rpc_(network, self) {}
+
+void DRingResolver::Bind(Incarnation incarnation) {
+  incarnation_ = incarnation;
+  rpc_.Bind(incarnation);
+}
+
+void DRingResolver::Resolve(PeerId via, ChordId key, SimDuration timeout,
+                            Callback cb) {
+  uint64_t lookup_id = network_->NextRpcId();
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.timeout_event = network_->SchedulePeer(
+      self_, incarnation_, timeout, [this, lookup_id]() {
+        Complete(lookup_id, Status::TimedOut("D-ring lookup"), RingPeer{});
+      });
+  pending_.emplace(lookup_id, std::move(pending));
+
+  auto req = std::make_unique<ChordFindSuccessorMsg>();
+  req->key = key;
+  req->origin = self_;
+  req->lookup_id = lookup_id;
+  req->hops = 0;
+  // Short ack round-trip: if the bootstrap itself is dead we fail fast
+  // instead of waiting out the full lookup timeout.
+  rpc_.Call(via, std::move(req), 1500 * kMillisecond,
+            [this, lookup_id](const Status& status, MessagePtr) {
+              if (status.ok()) return;  // acked; the answer will be routed
+              Complete(lookup_id,
+                       Status::Unavailable("D-ring bootstrap unreachable"),
+                       RingPeer{});
+            });
+}
+
+bool DRingResolver::HandleMessage(MessagePtr& msg) {
+  if (msg->is_response) return rpc_.HandleResponse(msg);
+  if (msg->type != kChordLookupResult) return false;
+  const auto& result = MessageCast<ChordLookupResultMsg>(*msg);
+  if (pending_.find(result.lookup_id) == pending_.end()) {
+    return false;  // not one of ours (e.g. the host's ChordNode owns it)
+  }
+  Complete(result.lookup_id, Status::OK(), result.owner);
+  return true;
+}
+
+void DRingResolver::Complete(uint64_t lookup_id, const Status& status,
+                             RingPeer owner) {
+  auto it = pending_.find(lookup_id);
+  if (it == pending_.end()) return;
+  network_->sim()->Cancel(it->second.timeout_event);
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(status, owner);
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,250 @@
+#ifndef FLOWERCDN_FLOWER_FLOWER_PEER_H_
+#define FLOWERCDN_FLOWER_FLOWER_PEER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/chord_node.h"
+#include "flower/directory_index.h"
+#include "flower/dring.h"
+#include "flower/dring_resolver.h"
+#include "flower/messages.h"
+#include "flower/params.h"
+#include "gossip/view.h"
+#include "metrics/metrics.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/rpc.h"
+#include "storage/content_store.h"
+#include "storage/origin.h"
+#include "storage/website.h"
+#include "storage/workload.h"
+#include "util/random.h"
+
+namespace flowercdn {
+
+/// Role of a Flower-CDN participant. A session starts as a new client,
+/// joins its petal(ws, loc) as a content peer after its first contact with
+/// the directory service, and may be promoted to (or claim a vacant /
+/// failed) directory-peer position on the D-ring.
+enum class FlowerRole : uint8_t {
+  kClient,
+  kContentPeer,
+  kDirectoryPeer,
+};
+
+const char* FlowerRoleName(FlowerRole role);
+
+/// Shared, immutable experiment context handed to every Flower session.
+struct FlowerContext {
+  Network* network = nullptr;
+  MetricsCollector* metrics = nullptr;
+  const WebsiteCatalog* catalog = nullptr;
+  const QueryWorkload* workload = nullptr;
+  const OriginServers* origins = nullptr;
+  const DRingKeyspace* keyspace = nullptr;
+  const FlowerParams* params = nullptr;
+  /// Synthetic keyword model for the semantic-search extension.
+  KeywordModel keywords;
+  /// Supplies a live D-ring member (!= self) for routing and joining, or
+  /// kInvalidPeer when none is known — the deployment's bootstrap/rendezvous
+  /// service.
+  std::function<PeerId(PeerId self)> pick_dring_bootstrap;
+  /// Notifies the driver of role transitions (maintains the bootstrap
+  /// registry). May be empty.
+  std::function<void(PeerId self, FlowerRole role)> on_role_change;
+};
+
+/// One live Flower-CDN session: client, content peer, and/or directory peer
+/// of petal(website, locality). Implements the paper's query protocol
+/// (§3), the PetalUp elastic directory (§4) and the maintenance protocols
+/// (§5) — gossip, keepalive, push, directory failure detection and
+/// replacement, graceful handoff, and join-race resolution.
+class FlowerPeer : public SimNode {
+ public:
+  /// `store` is the identity's persistent cache, owned by the driver.
+  FlowerPeer(const FlowerContext& ctx, PeerId self, WebsiteId website,
+             LocalityId locality, ContentStore* store, Rng rng);
+  ~FlowerPeer() override = default;
+
+  /// Attaches as a fresh client: active-website peers start querying (each
+  /// query doubles as petal admission); others immediately ask to join
+  /// their petal.
+  void StartAsClient();
+
+  /// Attaches directly as directory peer d^instance(ws, loc) — used to
+  /// seed the initial D-ring population. The first such peer creates the
+  /// ring (`bootstrap` empty); the rest join through any existing member.
+  void StartAsDirectory(int instance, std::optional<PeerId> bootstrap);
+
+  /// Graceful departure (§5.2.2): a directory peer hands its view and
+  /// directory-index to a chosen content peer before leaving. The driver
+  /// detaches the session afterwards.
+  void LeaveGracefully();
+
+  void HandleMessage(MessagePtr msg) override;
+
+  // --- Semantic search extension (paper §7 future work) ---------------------
+
+  /// One search hit: an object carrying the keyword plus a petal member
+  /// believed to provide it.
+  using KeywordMatch = FlowerKeywordReplyMsg::Match;
+  using KeywordSearchCallback =
+      std::function<void(const Status& status,
+                         std::vector<KeywordMatch> matches)>;
+
+  /// Asks this peer's directory which indexed objects of its website carry
+  /// `keyword`. Only meaningful for content peers (directory peers answer
+  /// locally, clients fail with FailedPrecondition).
+  void SearchByKeyword(KeywordId keyword, KeywordSearchCallback cb);
+
+  /// Directory-side resolution used by SearchByKeyword; public for tests.
+  std::vector<KeywordMatch> ResolveKeywordLocally(KeywordId keyword,
+                                                  uint32_t max_results);
+
+  // --- Introspection ---------------------------------------------------------
+  PeerId self() const { return self_; }
+  WebsiteId website() const { return website_; }
+  LocalityId locality() const { return locality_; }
+  FlowerRole role() const { return role_; }
+  int instance() const { return instance_; }
+  const PeerView& view() const { return view_; }
+  const DirectoryIndex& index() const { return index_; }
+  const DirInfo& dir_info() const { return dir_info_; }
+  const ContentStore& store() const { return *store_; }
+  ChordNode* chord() { return chord_.get(); }
+  uint64_t queries_issued() const { return queries_issued_; }
+  /// Client-phase D-ring outcome counters (admission diagnosis).
+  uint64_t dring_resolve_failures() const { return dring_resolve_failures_; }
+  uint64_t dir_reply_vacant() const { return dir_reply_vacant_; }
+  uint64_t dir_query_timeouts() const { return dir_query_timeouts_; }
+  uint64_t dir_failures_detected() const { return dir_failures_detected_; }
+  uint64_t promotions_triggered() const { return promotions_triggered_; }
+  uint64_t summary_hits() const { return summary_hits_; }
+  uint64_t collaboration_hits() const { return collaboration_hits_; }
+
+ private:
+  /// In-flight resolution state of one client/content-peer query.
+  struct QueryState {
+    ObjectId object;
+    SimTime t0 = 0;
+    bool has_object = false;  // false => pure petal-join request
+    bool via_dring = false;
+    int dring_attempts = 0;
+    int scan_hops = 0;
+  };
+
+  // --- Common plumbing -------------------------------------------------------
+  void Attach();
+  ChordNode* EnsureChord(ChordId ring_id);
+  PeerId PickBootstrap();
+  void StartAsDirectoryRetry(int instance, PeerId bootstrap);
+
+  // --- Query client machinery ------------------------------------------------
+  void StartQueryingIfActive();
+  void ScheduleNextQuery();
+  void IssueQuery();
+  void ResolveViaDRing(QueryState q);
+  void SendDirQuery(PeerId dir, QueryState q, bool wants_join);
+  void HandleDirReply(QueryState q, PeerId dir, PeerId responder,
+                      const FlowerDirQueryReplyMsg& reply, bool wants_join);
+  void ResolveAsContentPeer(QueryState q);
+  void TrySummaryCandidates(QueryState q, std::vector<PeerId> candidates,
+                            size_t index);
+  void AskOwnDirectory(QueryState q);
+  void ResolveAsDirectory(QueryState q);
+  /// Confirms `provider` actually holds the object; falls back to the
+  /// origin on refusal or timeout.
+  void FetchFrom(PeerId provider, QueryState q);
+  void ResolveAtOrigin(QueryState q);
+  void FinishQuery(const QueryState& q, bool hit, SimTime resolved_at,
+                   double transfer_distance_ms);
+
+  // --- Content-peer machinery --------------------------------------------------
+  void BecomeContentPeer(const DirInfo& info,
+                         const std::vector<Contact>& view_seed);
+  void ScheduleGossip(SimDuration delay);
+  void GossipRound();
+  void ScheduleKeepalive(SimDuration delay);
+  void KeepaliveRound();
+  void MaybePush();
+  void DoPush();
+  void MergeGossip(PeerId from, const std::vector<Contact>& contacts,
+                   const BloomFilter& summary, const DirInfo& their_info);
+  void ReconcileDirInfo(const DirInfo& theirs);
+  /// §5.2.1: the directory peer stopped answering — first detector runs the
+  /// replacement protocol.
+  void OnDirectoryUnreachable();
+  /// Resolve-then-claim of directory position (ws, loc, instance); used for
+  /// failure replacement, vacancy claims and PetalUp promotions. Restores
+  /// handoff state when provided.
+  void AttemptDirectoryClaim(
+      int instance,
+      std::optional<FlowerDirHandoffMsg> handoff = std::nullopt);
+  void DemoteToContentPeer();
+
+  // --- Directory-peer machinery -------------------------------------------------
+  void BecomeDirectory(int instance);
+  void ScheduleDirectoryMaintenance();
+  void DirectoryMaintenanceRound();
+  void OnDirQuery(MessagePtr msg);
+  void AnswerDirQuery(std::shared_ptr<FlowerDirQueryMsg> req);
+  std::optional<PeerId> FindProviderLocally(const ObjectId& object,
+                                            PeerId exclude);
+  void AdmitContentPeer(PeerId peer, std::optional<ObjectId> first_object);
+  std::optional<PeerId> NextInstancePeer() const;
+  std::optional<PeerId> SameWebsiteNeighborDir() const;
+  void TriggerPromotion();
+  void OnPromote(const FlowerPromoteMsg& msg);
+  void OnPush(const Message& req);
+  void OnKeepalive(const Message& req);
+  void OnGossip(const Message& req);
+  void OnFetch(const Message& req);
+  void OnForwardedQuery(const Message& req);
+  void OnKeywordQuery(const Message& req);
+  void OnDirProbe(const Message& req);
+  void OnDirHandoff(const Message& msg);
+
+  FlowerContext ctx_;
+  PeerId self_;
+  WebsiteId website_;
+  LocalityId locality_;
+  ContentStore* store_;
+  Rng rng_;
+
+  FlowerRole role_ = FlowerRole::kClient;
+  int instance_ = 0;
+  std::unique_ptr<ChordNode> chord_;
+  RpcEndpoint rpc_;
+  DRingResolver resolver_;
+  Incarnation incarnation_ = 0;
+
+  PeerView view_;  // petal view (unbounded, per Table 1)
+  std::unordered_map<PeerId, BloomFilter> summaries_;
+  DirInfo dir_info_;
+  DirectoryIndex index_;
+
+  bool querying_ = false;
+  bool gossip_scheduled_ = false;
+  bool keepalive_scheduled_ = false;
+  bool dir_maintenance_scheduled_ = false;
+  bool claim_in_progress_ = false;
+  bool push_in_flight_ = false;
+  SimTime promotion_triggered_at_ = -1;
+
+  uint64_t queries_issued_ = 0;
+  uint64_t dring_resolve_failures_ = 0;
+  uint64_t dir_reply_vacant_ = 0;
+  uint64_t dir_query_timeouts_ = 0;
+  uint64_t dir_failures_detected_ = 0;
+  uint64_t promotions_triggered_ = 0;
+  uint64_t summary_hits_ = 0;
+  uint64_t collaboration_hits_ = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_FLOWER_FLOWER_PEER_H_

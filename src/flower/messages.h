@@ -1,0 +1,244 @@
+#ifndef FLOWERCDN_FLOWER_MESSAGES_H_
+#define FLOWERCDN_FLOWER_MESSAGES_H_
+
+#include <vector>
+
+#include "flower/directory_index.h"
+#include "gossip/view.h"
+#include "sim/message.h"
+#include "sim/topology.h"
+#include "storage/keywords.h"
+#include "storage/object_id.h"
+#include "util/bloom_filter.h"
+
+namespace flowercdn {
+
+/// Wire messages of Flower-CDN / PetalUp-CDN.
+enum FlowerMessageType : MessageType {
+  kFlowerDirQuery = kFlowerMessageBase + 0,
+  kFlowerDirQueryReply = kFlowerMessageBase + 1,
+  kFlowerFetch = kFlowerMessageBase + 2,
+  kFlowerFetchReply = kFlowerMessageBase + 3,
+  kFlowerGossip = kFlowerMessageBase + 4,
+  kFlowerGossipReply = kFlowerMessageBase + 5,
+  kFlowerKeepalive = kFlowerMessageBase + 6,
+  kFlowerKeepaliveReply = kFlowerMessageBase + 7,
+  kFlowerPush = kFlowerMessageBase + 8,
+  kFlowerPushReply = kFlowerMessageBase + 9,
+  kFlowerPromote = kFlowerMessageBase + 10,
+  kFlowerDirHandoff = kFlowerMessageBase + 11,
+  kFlowerDirProbe = kFlowerMessageBase + 12,
+  kFlowerDirProbeReply = kFlowerMessageBase + 13,
+  kFlowerForwardedQuery = kFlowerMessageBase + 14,
+  kFlowerKeywordQuery = kFlowerMessageBase + 15,
+  kFlowerKeywordReply = kFlowerMessageBase + 16,
+};
+
+inline bool IsFlowerMessage(MessageType t) {
+  return t >= kFlowerMessageBase && t < kFlowerMessageBase + 100;
+}
+
+/// What a content peer believes about its directory peer (paper §5.1).
+/// Exchanged during gossip; between peers of the same instance, the
+/// fresher (smaller-age) information wins.
+struct DirInfo {
+  PeerId dir = kInvalidPeer;
+  int instance = 0;
+  uint32_t age = 0;
+};
+
+/// Client -> directory peer: resolve a query and/or admit me to the petal.
+/// Routed to d^0(ws, loc) over the D-ring for new clients; sent directly
+/// (dir-info) by content peers.
+struct FlowerDirQueryMsg : Message {
+  FlowerDirQueryMsg() { type = kFlowerDirQuery; }
+  WebsiteId website = 0;
+  LocalityId locality = 0;
+  bool has_object = false;
+  ObjectId object;
+  /// New client asking to be admitted as a content peer.
+  bool wants_join = false;
+  /// PetalUp scan progress (bounds the instance-to-instance forwarding).
+  int scan_hops = 0;
+};
+
+enum class DirQueryResult : uint8_t {
+  /// `provider` holds the object — go fetch it.
+  kProvider,
+  /// Nobody in the petal (or collaborating petals) has it: fetch from the
+  /// origin server.
+  kMiss,
+  /// The receiving peer is not a directory for (ws, loc): the position is
+  /// vacant and the client may claim it (paper §5.2.2 case 2).
+  kVacant,
+  /// PetalUp: this instance is overloaded; re-ask `forward_to` (d^{i+1}).
+  kForward,
+};
+
+struct FlowerDirQueryReplyMsg : Message {
+  FlowerDirQueryReplyMsg() { type = kFlowerDirQueryReply; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 24 + 12 * view_seed.size();
+  }
+  DirQueryResult result = DirQueryResult::kMiss;
+  PeerId provider = kInvalidPeer;
+  PeerId forward_to = kInvalidPeer;
+  /// Set when the directory admitted the requester into its view/index.
+  bool admitted = false;
+  /// Identity of the answering directory instance (for the client's
+  /// dir-info).
+  int instance = 0;
+  /// Petal-view bootstrap handed to newly admitted content peers (§4).
+  std::vector<Contact> view_seed;
+};
+
+/// Peer-to-peer content request inside (or across) petals.
+struct FlowerFetchMsg : Message {
+  FlowerFetchMsg() { type = kFlowerFetch; }
+  ObjectId object;
+};
+
+struct FlowerFetchReplyMsg : Message {
+  FlowerFetchReplyMsg() { type = kFlowerFetchReply; }
+  bool has_object = false;
+};
+
+/// Petal gossip exchange (§3.1): contacts, the sender's content summary and
+/// its dir-info, answered symmetrically.
+struct FlowerGossipMsg : Message {
+  FlowerGossipMsg() { type = kFlowerGossip; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 16 + 12 * contacts.size() + summary.SizeBytes();
+  }
+  std::vector<Contact> contacts;
+  BloomFilter summary;
+  DirInfo dir_info;
+};
+
+struct FlowerGossipReplyMsg : Message {
+  FlowerGossipReplyMsg() { type = kFlowerGossipReply; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 16 + 12 * contacts.size() + summary.SizeBytes();
+  }
+  std::vector<Contact> contacts;
+  BloomFilter summary;
+  DirInfo dir_info;
+};
+
+/// Content peer -> directory peer liveness beacon (§5.1).
+struct FlowerKeepaliveMsg : Message {
+  FlowerKeepaliveMsg() { type = kFlowerKeepalive; }
+};
+
+struct FlowerKeepaliveReplyMsg : Message {
+  FlowerKeepaliveReplyMsg() { type = kFlowerKeepaliveReply; }
+  /// False when the receiver is no longer a directory peer — the sender
+  /// must run the replacement protocol.
+  bool accepted = false;
+  /// Directory instance, refreshing the sender's dir-info.
+  int instance = 0;
+};
+
+/// Content peer -> directory peer: full stored-object list after the push
+/// threshold tripped (§5.1).
+struct FlowerPushMsg : Message {
+  FlowerPushMsg() { type = kFlowerPush; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 8 * objects.size();
+  }
+  std::vector<ObjectId> objects;
+};
+
+struct FlowerPushReplyMsg : Message {
+  FlowerPushReplyMsg() { type = kFlowerPushReply; }
+  /// False when the receiver is no longer a directory peer.
+  bool accepted = false;
+  int instance = 0;
+};
+
+/// PetalUp (§4): overloaded final instance d^i orders one of its content
+/// peers to join the D-ring as d^{i+1}.
+struct FlowerPromoteMsg : Message {
+  FlowerPromoteMsg() { type = kFlowerPromote; }
+  WebsiteId website = 0;
+  LocalityId locality = 0;
+  int new_instance = 0;
+};
+
+/// Voluntary directory leave (§5.2.2): the departing directory transfers a
+/// copy of its view and directory-index to its replacement.
+struct FlowerDirHandoffMsg : Message {
+  FlowerDirHandoffMsg() { type = kFlowerDirHandoff; }
+  size_t SizeBytes() const override {
+    size_t index_bytes = 0;
+    for (const auto& [peer, objects] : index.peers) {
+      index_bytes += 8 + 8 * objects.size();
+    }
+    return kHeaderBytes + 12 + 12 * view.size() + index_bytes;
+  }
+  WebsiteId website = 0;
+  LocalityId locality = 0;
+  int instance = 0;
+  std::vector<Contact> view;
+  DirectoryIndex::Snapshot index;
+};
+
+/// Directory -> content peer, on behalf of a querying client (§3.2: "the
+/// query is finally forwarded to some content peer that holds the
+/// requested content"). Carries the client's RPC correlation (the message
+/// is addressed *from* the client), so the provider's answer — a
+/// FlowerDirQueryReplyMsg confirming possession — flows straight back to
+/// the client, saving a redirect round trip.
+struct FlowerForwardedQueryMsg : Message {
+  FlowerForwardedQueryMsg() { type = kFlowerForwardedQuery; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 16 + 12 * view_seed.size();
+  }
+  ObjectId object;
+  /// Admission state decided by the directory, relayed to the client.
+  bool admitted = false;
+  int instance = 0;
+  std::vector<Contact> view_seed;
+};
+
+/// Content peer -> directory peer: semantic search (the paper's §7 future
+/// work) — "which indexed objects of our website carry this keyword, and
+/// who provides them?"
+struct FlowerKeywordQueryMsg : Message {
+  FlowerKeywordQueryMsg() { type = kFlowerKeywordQuery; }
+  WebsiteId website = 0;
+  KeywordId keyword = 0;
+  /// Cap on returned matches.
+  uint32_t max_results = 16;
+};
+
+struct FlowerKeywordReplyMsg : Message {
+  FlowerKeywordReplyMsg() { type = kFlowerKeywordReply; }
+  size_t SizeBytes() const override {
+    return kHeaderBytes + 16 * matches.size();
+  }
+  /// False when the receiver is not a directory peer.
+  bool accepted = false;
+  struct Match {
+    ObjectId object;
+    PeerId provider = kInvalidPeer;
+  };
+  std::vector<Match> matches;
+};
+
+/// Directory-to-directory collaboration probe (§3.2): "do you know a
+/// provider for this object of our common website?"
+struct FlowerDirProbeMsg : Message {
+  FlowerDirProbeMsg() { type = kFlowerDirProbe; }
+  ObjectId object;
+};
+
+struct FlowerDirProbeReplyMsg : Message {
+  FlowerDirProbeReplyMsg() { type = kFlowerDirProbeReply; }
+  bool has_provider = false;
+  PeerId provider = kInvalidPeer;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_FLOWER_MESSAGES_H_

@@ -1,0 +1,114 @@
+#include "gossip/cyclon.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+CyclonNode::CyclonNode(Network* network, PeerId self, Rng rng,
+                       const Params& params)
+    : network_(network),
+      self_(self),
+      rng_(rng),
+      params_(params),
+      rpc_(network, self),
+      view_(params.view_size) {
+  FLOWERCDN_CHECK(params.shuffle_length >= 1);
+  FLOWERCDN_CHECK(params.view_size >= params.shuffle_length);
+}
+
+void CyclonNode::Start(Incarnation incarnation) {
+  incarnation_ = incarnation;
+  rpc_.Bind(incarnation);
+  running_ = true;
+  ScheduleShuffle();
+}
+
+void CyclonNode::ScheduleShuffle() {
+  // Desynchronize rounds across peers with a +-10% period jitter.
+  SimDuration jitter = static_cast<SimDuration>(
+      params_.period / 10 > 0 ? rng_.UniformInt(-(params_.period / 10),
+                                                params_.period / 10)
+                              : 0);
+  network_->SchedulePeer(self_, incarnation_, params_.period + jitter,
+                         [this]() {
+                           if (!running_) return;
+                           ShuffleRound();
+                           ScheduleShuffle();
+                         });
+}
+
+std::vector<Contact> CyclonNode::BuildSlice(PeerId partner,
+                                            bool include_self) {
+  std::vector<Contact> slice =
+      view_.RandomSubset(params_.shuffle_length - (include_self ? 1 : 0),
+                         rng_, partner);
+  if (include_self) slice.push_back(Contact{self_, 0});
+  return slice;
+}
+
+void CyclonNode::ShuffleRound() {
+  view_.AgeAll();
+  auto partner = view_.Oldest();
+  if (!partner.has_value()) return;
+  ++shuffles_initiated_;
+  PeerId q = partner->peer;
+
+  auto msg = std::make_unique<GossipShuffleMsg>();
+  std::vector<Contact> sent = BuildSlice(q, /*include_self=*/true);
+  msg->contacts = sent;
+
+  rpc_.Call(q, std::move(msg), params_.rpc_timeout,
+            [this, q, sent = std::move(sent)](const Status& status,
+                                              MessagePtr resp) {
+              if (!status.ok()) {
+                // Dead partner: expel it — this is how Cyclon self-heals.
+                view_.Remove(q);
+                ++partners_expired_;
+                return;
+              }
+              const auto& reply = MessageCast<GossipShuffleReplyMsg>(*resp);
+              MergeSlice(reply.contacts, sent);
+            });
+}
+
+void CyclonNode::MergeSlice(const std::vector<Contact>& received,
+                            const std::vector<Contact>& sent) {
+  for (const Contact& c : received) {
+    if (c.peer == self_) continue;
+    if (view_.Contains(c.peer)) {
+      view_.Upsert(c);
+      continue;
+    }
+    if (view_.capacity() == 0 || view_.size() < view_.capacity()) {
+      view_.Upsert(c);
+      continue;
+    }
+    // View full: make room by dropping one of the entries we shipped out
+    // (Cyclon's swap rule), else fall back to Upsert's oldest-eviction.
+    bool made_room = false;
+    for (const Contact& s : sent) {
+      if (s.peer != self_ && view_.Remove(s.peer)) {
+        made_room = true;
+        break;
+      }
+    }
+    (void)made_room;
+    view_.Upsert(c);
+  }
+}
+
+bool CyclonNode::HandleMessage(MessagePtr& msg) {
+  if (msg->is_response) return rpc_.HandleResponse(msg);
+  if (msg->type != kGossipShuffle) return false;
+  const auto& req = MessageCast<GossipShuffleMsg>(*msg);
+  auto reply = std::make_unique<GossipShuffleReplyMsg>();
+  std::vector<Contact> sent = BuildSlice(req.src, /*include_self=*/false);
+  reply->contacts = sent;
+  rpc_.Respond(req, std::move(reply));
+  MergeSlice(req.contacts, sent);
+  return true;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,79 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flowercdn {
+
+EventId EventQueue::Push(SimTime when, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  SiftUp(heap_.size() - 1);
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  // Cancelling an already-fired (or never-issued) id is a harmless no-op;
+  // only ids still pending are tombstoned.
+  if (pending_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void EventQueue::DropCancelledTop() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    // Standard heap pop.
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+}
+
+bool EventQueue::Empty() const {
+  const_cast<EventQueue*>(this)->DropCancelledTop();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  const_cast<EventQueue*>(this)->DropCancelledTop();
+  assert(!heap_.empty());
+  return heap_.front().when;
+}
+
+EventFn EventQueue::Pop(SimTime* when) {
+  DropCancelledTop();
+  assert(!heap_.empty());
+  *when = heap_.front().when;
+  pending_.erase(heap_.front().id);
+  EventFn fn = std::move(heap_.front().fn);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return fn;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t smallest = i;
+    size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && Before(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && Before(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,77 @@
+#ifndef FLOWERCDN_SIM_EVENT_QUEUE_H_
+#define FLOWERCDN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/function.h"
+
+namespace flowercdn {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+/// Min-heap of timed callbacks with stable FIFO ordering for equal
+/// timestamps and O(1) lazy cancellation. This is the core of the
+/// discrete-event kernel (the PeerSim-equivalent substrate).
+///
+/// Implemented as a hand-rolled binary heap so that callbacks can be moved
+/// out on Pop() and cancelled entries dropped lazily.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `fn` to fire at absolute time `when`. Returns a cancellable id.
+  EventId Push(SimTime when, EventFn fn);
+
+  /// Marks an event as cancelled; it is skipped when reached. Cancelling an
+  /// already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  /// True if no live (non-cancelled) event remains.
+  bool Empty() const;
+
+  /// Timestamp of the earliest live event; must not be called when Empty().
+  SimTime NextTime() const;
+
+  /// Pops the earliest live event, returning its callback and storing its
+  /// firing time in `*when`. Must not be called when Empty().
+  EventFn Pop(SimTime* when);
+
+  /// Number of live events.
+  size_t Size() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // doubles as insertion sequence for FIFO tie-break
+    EventFn fn;
+  };
+
+  /// a fires strictly before b.
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.id < b.id;
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  /// Removes cancelled entries sitting at the heap root.
+  void DropCancelledTop();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // pushed, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
+  EventId next_id_ = 1;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_EVENT_QUEUE_H_

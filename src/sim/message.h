@@ -1,0 +1,75 @@
+#ifndef FLOWERCDN_SIM_MESSAGE_H_
+#define FLOWERCDN_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.h"
+
+namespace flowercdn {
+
+/// Numeric message-type tag. Each protocol owns a disjoint range so a host
+/// node can route an incoming message to the right sub-protocol without
+/// RTTI. See the k*MessageBase constants below.
+using MessageType = uint32_t;
+
+/// Transport-level negative acknowledgement: the network delivers it to the
+/// sender of an RPC request whose destination was dead (models the
+/// connection refusal / RST of a connection-oriented transport — failure is
+/// detected in ~1 RTT instead of a full timeout). Timeouts remain the
+/// backstop for peers that die with requests in flight.
+constexpr MessageType kTransportNack = 1;
+
+constexpr MessageType kChordMessageBase = 1000;
+constexpr MessageType kGossipMessageBase = 2000;
+constexpr MessageType kFlowerMessageBase = 3000;
+constexpr MessageType kSquirrelMessageBase = 4000;
+constexpr MessageType kContentMessageBase = 5000;
+
+/// Base class of everything the simulated network transports. Concrete
+/// protocols subclass it with their payload fields. Routing metadata
+/// (src/dst/rpc correlation) lives here so the network and the RPC layer
+/// can operate on any message uniformly.
+struct Message {
+  virtual ~Message() = default;
+
+  /// Estimated wire size in bytes (headers + payload) — drives the
+  /// network's traffic accounting. Subclasses add their payload on top of
+  /// the base header estimate.
+  virtual size_t SizeBytes() const { return kHeaderBytes; }
+
+  /// Rough transport+protocol header estimate per message.
+  static constexpr size_t kHeaderBytes = 48;
+
+  MessageType type = 0;
+  PeerId src = kInvalidPeer;
+  PeerId dst = kInvalidPeer;
+  /// Non-zero when the message participates in a request/response exchange.
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+struct TransportNackMsg : Message {
+  TransportNackMsg() {
+    type = kTransportNack;
+    is_response = true;
+  }
+};
+
+/// Downcasts a message to its concrete type. The caller must have already
+/// checked `msg.type`; mismatches are programming errors.
+template <typename T>
+const T& MessageCast(const Message& msg) {
+  return static_cast<const T&>(msg);
+}
+
+template <typename T>
+T& MessageCast(Message& msg) {
+  return static_cast<T&>(msg);
+}
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_MESSAGE_H_

@@ -1,0 +1,128 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+Network::Network(Simulator* sim, Topology* topology)
+    : sim_(sim), topology_(topology) {
+  FLOWERCDN_CHECK(sim != nullptr);
+  FLOWERCDN_CHECK(topology != nullptr);
+}
+
+void Network::RegisterIdentity(PeerId peer, Coord coord) {
+  FLOWERCDN_CHECK(peer != kInvalidPeer);
+  auto [it, inserted] = identities_.emplace(peer, IdentityState{});
+  FLOWERCDN_CHECK(inserted) << "identity " << peer << " already registered";
+  it->second.coord = coord;
+}
+
+bool Network::HasIdentity(PeerId peer) const {
+  return identities_.count(peer) > 0;
+}
+
+Coord Network::CoordOf(PeerId peer) const {
+  auto it = identities_.find(peer);
+  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
+  return it->second.coord;
+}
+
+LocalityId Network::LocalityOf(PeerId peer) const {
+  return topology_->LocalityOf(CoordOf(peer));
+}
+
+double Network::LatencyMs(PeerId a, PeerId b) const {
+  if (a == b) return 0.0;
+  return topology_->LatencyMs(CoordOf(a), CoordOf(b));
+}
+
+Incarnation Network::Attach(PeerId peer, SimNode* node) {
+  FLOWERCDN_CHECK(node != nullptr);
+  auto it = identities_.find(peer);
+  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
+  FLOWERCDN_CHECK(it->second.node == nullptr)
+      << "peer " << peer << " already attached";
+  it->second.node = node;
+  ++it->second.incarnation;
+  ++alive_count_;
+  return it->second.incarnation;
+}
+
+void Network::Detach(PeerId peer) {
+  auto it = identities_.find(peer);
+  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
+  FLOWERCDN_CHECK(it->second.node != nullptr)
+      << "peer " << peer << " not attached";
+  it->second.node = nullptr;
+  --alive_count_;
+}
+
+bool Network::IsAlive(PeerId peer) const {
+  auto it = identities_.find(peer);
+  return it != identities_.end() && it->second.node != nullptr;
+}
+
+Incarnation Network::IncarnationOf(PeerId peer) const {
+  auto it = identities_.find(peer);
+  return it == identities_.end() ? 0 : it->second.incarnation;
+}
+
+void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
+  FLOWERCDN_CHECK(msg != nullptr);
+  msg->src = src;
+  msg->dst = dst;
+  ++messages_sent_;
+  bytes_sent_ += msg->SizeBytes();
+  if (msg->type >= kChordMessageBase && msg->type < kChordMessageBase + 100) {
+    ++traffic_.chord_messages;
+  } else if (msg->type >= kGossipMessageBase &&
+             msg->type < kGossipMessageBase + 100) {
+    ++traffic_.gossip_messages;
+  } else if (msg->type >= kFlowerMessageBase &&
+             msg->type < kFlowerMessageBase + 100) {
+    ++traffic_.flower_messages;
+  } else if (msg->type >= kSquirrelMessageBase &&
+             msg->type < kSquirrelMessageBase + 100) {
+    ++traffic_.squirrel_messages;
+  } else {
+    ++traffic_.other_messages;
+  }
+  double latency = LatencyMs(src, dst);
+  // Shared-pointer shim so the closure stays copyable (std::function).
+  sim_->Schedule(
+      static_cast<SimDuration>(latency),
+      [this, dst, msg = std::move(msg)]() mutable {
+        auto it = identities_.find(dst);
+        if (it == identities_.end() || it->second.node == nullptr) {
+          ++messages_dropped_;  // receiver failed mid-flight
+          if (msg->rpc_id != 0 && !msg->is_response) {
+            // Connection-refused semantics: bounce a transport NACK to the
+            // caller so it detects the dead peer in one round trip.
+            auto nack = std::make_unique<TransportNackMsg>();
+            nack->rpc_id = msg->rpc_id;
+            Send(msg->dst, msg->src, std::move(nack));
+          }
+          return;
+        }
+        ++messages_delivered_;
+        it->second.node->HandleMessage(std::move(msg));
+      });
+}
+
+EventId Network::SchedulePeer(PeerId peer, Incarnation inc, SimDuration delay,
+                              EventFn fn) {
+  return sim_->Schedule(delay,
+                        [this, peer, inc, fn = std::move(fn)]() mutable {
+                          auto it = identities_.find(peer);
+                          if (it == identities_.end() ||
+                              it->second.node == nullptr ||
+                              it->second.incarnation != inc) {
+                            return;  // stale timer suppressed
+                          }
+                          fn();
+                        });
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,111 @@
+#ifndef FLOWERCDN_SIM_NETWORK_H_
+#define FLOWERCDN_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/message.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "sim/types.h"
+
+namespace flowercdn {
+
+/// The simulated network: delivers messages between attached peers with
+/// topology-derived latency, drops traffic to failed peers (the sender
+/// notices only through RPC timeouts — exactly how churn hurts a real DHT),
+/// and provides incarnation-guarded timers so that events scheduled by a
+/// session can never fire into a later session of the same identity.
+class Network {
+ public:
+  Network(Simulator* sim, Topology* topology);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Identity management -------------------------------------------------
+  // An identity (PeerId + coordinate) persists across sessions; the paper's
+  // churn model cycles a universe of 1.3*P identities through join/fail.
+
+  /// Registers a peer identity with its (fixed) coordinate.
+  void RegisterIdentity(PeerId peer, Coord coord);
+  bool HasIdentity(PeerId peer) const;
+  Coord CoordOf(PeerId peer) const;
+  LocalityId LocalityOf(PeerId peer) const;
+  /// One-way latency between two identities (alive or not), in ms.
+  double LatencyMs(PeerId a, PeerId b) const;
+
+  // --- Session lifecycle ---------------------------------------------------
+
+  /// Attaches a live protocol endpoint for `peer`; returns the new
+  /// incarnation number. The identity must be registered and not attached.
+  Incarnation Attach(PeerId peer, SimNode* node);
+
+  /// Detaches `peer` (abrupt failure or voluntary leave). In-flight
+  /// messages to it are lost; its guarded timers never fire again.
+  void Detach(PeerId peer);
+
+  bool IsAlive(PeerId peer) const;
+  /// Incarnation of the current session (0 if never attached).
+  Incarnation IncarnationOf(PeerId peer) const;
+  size_t alive_count() const { return alive_count_; }
+
+  // --- Messaging -----------------------------------------------------------
+
+  /// Sends `msg` from `src` to `dst`; delivery happens LatencyMs(src,dst)
+  /// later if `dst` is still alive then, otherwise the message is dropped.
+  /// `msg->src`/`msg->dst` are filled in by this call.
+  void Send(PeerId src, PeerId dst, MessagePtr msg);
+
+  /// Schedules `fn` to run after `delay`, but only if `peer` is still alive
+  /// with incarnation `inc` at that moment. All protocol timers must use
+  /// this (or RpcEndpoint) so stale closures are never invoked.
+  EventId SchedulePeer(PeerId peer, Incarnation inc, SimDuration delay,
+                       EventFn fn);
+
+  /// Hands out process-wide unique RPC correlation ids.
+  uint64_t NextRpcId() { return next_rpc_id_++; }
+
+  Simulator* sim() { return sim_; }
+  const Simulator* sim() const { return sim_; }
+  Topology* topology() { return topology_; }
+
+  // --- Traffic accounting (protocol overhead reporting) --------------------
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Traffic split by protocol family (message-type range).
+  struct TrafficBreakdown {
+    uint64_t chord_messages = 0;
+    uint64_t gossip_messages = 0;
+    uint64_t flower_messages = 0;
+    uint64_t squirrel_messages = 0;
+    uint64_t other_messages = 0;  // transport NACKs, test traffic
+  };
+  const TrafficBreakdown& traffic() const { return traffic_; }
+
+ private:
+  struct IdentityState {
+    Coord coord;
+    SimNode* node = nullptr;  // non-null iff alive
+    Incarnation incarnation = 0;
+  };
+
+  Simulator* sim_;
+  Topology* topology_;
+  std::unordered_map<PeerId, IdentityState> identities_;
+  size_t alive_count_ = 0;
+  uint64_t next_rpc_id_ = 1;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  TrafficBreakdown traffic_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_NETWORK_H_

@@ -1,0 +1,22 @@
+#ifndef FLOWERCDN_SIM_NODE_H_
+#define FLOWERCDN_SIM_NODE_H_
+
+#include "sim/message.h"
+
+namespace flowercdn {
+
+/// Interface of a live protocol endpoint attached to the network. One
+/// object per *session*: when a peer fails and later re-joins, a fresh
+/// SimNode is attached under the same PeerId (new incarnation).
+class SimNode {
+ public:
+  virtual ~SimNode() = default;
+
+  /// Delivers an incoming message; the node takes ownership. Called only
+  /// while the node is attached (the network drops traffic to dead peers).
+  virtual void HandleMessage(MessagePtr msg) = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_NODE_H_

@@ -1,0 +1,66 @@
+#include "sim/rpc.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+RpcEndpoint::RpcEndpoint(Network* network, PeerId self)
+    : network_(network), self_(self) {
+  FLOWERCDN_CHECK(network != nullptr);
+}
+
+uint64_t RpcEndpoint::Call(PeerId dst, MessagePtr request, SimDuration timeout,
+                           ResponseHandler handler) {
+  FLOWERCDN_CHECK(request != nullptr);
+  FLOWERCDN_CHECK(timeout > 0);
+  uint64_t id = network_->NextRpcId();
+  request->rpc_id = id;
+  request->is_response = false;
+
+  EventId timeout_event = network_->SchedulePeer(
+      self_, incarnation_, timeout, [this, id, dst]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;  // answered in time
+        ResponseHandler handler = std::move(it->second.handler);
+        pending_.erase(it);
+        handler(Status::TimedOut("rpc to peer " + std::to_string(dst)),
+                nullptr);
+      });
+
+  pending_.emplace(id, Pending{std::move(handler), timeout_event});
+  network_->Send(self_, dst, std::move(request));
+  return id;
+}
+
+bool RpcEndpoint::HandleResponse(MessagePtr& msg) {
+  FLOWERCDN_CHECK(msg != nullptr);
+  if (!msg->is_response || msg->rpc_id == 0) return false;
+  auto it = pending_.find(msg->rpc_id);
+  if (it == pending_.end()) {
+    // Not ours (another endpoint of the host) or late: the caller decides;
+    // unclaimed responses are dropped by the host.
+    return false;
+  }
+  network_->sim()->Cancel(it->second.timeout_event);
+  ResponseHandler handler = std::move(it->second.handler);
+  pending_.erase(it);
+  if (msg->type == kTransportNack) {
+    handler(Status::Unavailable("peer unreachable (transport nack)"),
+            nullptr);
+  } else {
+    handler(Status::OK(), std::move(msg));
+  }
+  return true;
+}
+
+void RpcEndpoint::Respond(const Message& request, MessagePtr response) {
+  FLOWERCDN_CHECK(response != nullptr);
+  FLOWERCDN_CHECK(request.rpc_id != 0) << "responding to a one-way message";
+  response->rpc_id = request.rpc_id;
+  response->is_response = true;
+  network_->Send(self_, request.src, std::move(response));
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,30 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace flowercdn {
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.Empty() && queue_.NextTime() <= until) {
+    Step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  SimTime when;
+  EventFn fn = queue_.Pop(&when);
+  FLOWERCDN_CHECK(when >= now_) << "event queue went backwards";
+  now_ = when;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+}  // namespace flowercdn

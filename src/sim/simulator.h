@@ -1,0 +1,65 @@
+#ifndef FLOWERCDN_SIM_SIMULATOR_H_
+#define FLOWERCDN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+/// Single-threaded discrete-event simulator: a virtual clock plus an event
+/// queue. All protocol activity (message deliveries, timers, churn) runs as
+/// events; between events no simulated time passes, which is exactly the
+/// PeerSim event-driven model the paper's evaluation uses.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` (>= 0) after now.
+  EventId Schedule(SimDuration delay, EventFn fn) {
+    FLOWERCDN_CHECK(delay >= 0) << "negative delay " << delay;
+    return queue_.Push(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (>= now).
+  EventId ScheduleAt(SimTime when, EventFn fn) {
+    FLOWERCDN_CHECK(when >= now_) << "schedule in the past";
+    return queue_.Push(when, std::move(fn));
+  }
+
+  /// Cancels a scheduled event (no-op if already fired).
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  /// Processes events in timestamp order until the queue drains.
+  void Run();
+
+  /// Processes events with timestamp <= `until`, then advances the clock to
+  /// exactly `until` (even if no event fired at that instant).
+  void RunUntil(SimTime until);
+
+  /// Processes at most one event; returns false if the queue was empty.
+  bool Step();
+
+  /// Number of events dispatched so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.Size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_SIMULATOR_H_

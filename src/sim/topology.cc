@@ -1,0 +1,84 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double Distance(const Coord& a, const Coord& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Deterministic, symmetric jitter factor in [1-j, 1+j] for a pair of
+/// (quantized) coordinates. Hash-derived so no RNG state is consumed and
+/// latency(a,b) is stable across calls and runs.
+double PairJitter(const Coord& a, const Coord& b, double j) {
+  auto q = [](double v) -> uint64_t {
+    return static_cast<uint64_t>(static_cast<int64_t>(v * 4096.0));
+  };
+  uint64_t ha = HashCombine(q(a.x), q(a.y));
+  uint64_t hb = HashCombine(q(b.x), q(b.y));
+  if (ha > hb) std::swap(ha, hb);  // symmetry
+  double unit =
+      static_cast<double>(HashCombine(ha, hb) >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 - j + 2.0 * j * unit;
+}
+
+}  // namespace
+
+Topology::Topology(const Params& params) : params_(params) {
+  FLOWERCDN_CHECK(params_.num_localities >= 1);
+  FLOWERCDN_CHECK(params_.min_latency_ms >= 0);
+  FLOWERCDN_CHECK(params_.max_latency_ms >= params_.min_latency_ms);
+  landmarks_.reserve(params_.num_localities);
+  for (int i = 0; i < params_.num_localities; ++i) {
+    double angle = 2.0 * kPi * i / params_.num_localities;
+    landmarks_.push_back(Coord{params_.landmark_radius * std::cos(angle),
+                               params_.landmark_radius * std::sin(angle)});
+  }
+}
+
+Coord Topology::PlaceInLocality(LocalityId loc, Rng& rng) const {
+  FLOWERCDN_CHECK(loc >= 0 && loc < params_.num_localities);
+  // Box-Muller Gaussian scatter around the landmark.
+  double u1 = std::max(rng.NextDouble(), 1e-12);
+  double u2 = rng.NextDouble();
+  double r = params_.cluster_stddev * std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * kPi * u2;
+  Coord c = landmarks_[loc];
+  c.x += r * std::cos(theta);
+  c.y += r * std::sin(theta);
+  return c;
+}
+
+LocalityId Topology::LocalityOf(const Coord& c) const {
+  LocalityId best = 0;
+  double best_d = Distance(c, landmarks_[0]);
+  for (int i = 1; i < params_.num_localities; ++i) {
+    double d = Distance(c, landmarks_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Topology::LatencyMs(const Coord& a, const Coord& b) const {
+  if (a.x == b.x && a.y == b.y) return 0.0;
+  double base =
+      params_.min_latency_ms + params_.latency_per_unit_ms * Distance(a, b);
+  if (params_.jitter > 0) base *= PairJitter(a, b, params_.jitter);
+  return std::clamp(base, params_.min_latency_ms, params_.max_latency_ms);
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,37 @@
+#ifndef FLOWERCDN_SIM_TYPES_H_
+#define FLOWERCDN_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace flowercdn {
+
+/// Simulated time in milliseconds since the start of the experiment.
+/// The paper's PeerSim setup models per-link latencies of 10-500 ms and
+/// experiments lasting 24 (simulated) hours, so a 64-bit millisecond clock
+/// is ample.
+using SimTime = int64_t;
+
+/// Durations, also in milliseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1000;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+/// Stable identity of a peer (a "user"). Identity 0 is invalid. An identity
+/// survives churn: a peer that fails and later re-joins keeps its PeerId,
+/// locality and website interest (the paper's population cycles through a
+/// universe of 1.3*P identities).
+using PeerId = uint64_t;
+
+constexpr PeerId kInvalidPeer = 0;
+
+/// Monotonically increasing per-identity session counter. Each (re-)join
+/// starts a new incarnation; self-scheduled timers of a previous incarnation
+/// must not fire into the new one.
+using Incarnation = uint32_t;
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIM_TYPES_H_

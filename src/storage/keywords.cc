@@ -1,0 +1,41 @@
+#include "storage/keywords.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+KeywordModel::KeywordModel(const Params& params) : params_(params) {
+  FLOWERCDN_CHECK(params.vocabulary_size >= 1);
+  FLOWERCDN_CHECK(params.keywords_per_object >= 1);
+  FLOWERCDN_CHECK(static_cast<uint32_t>(params.keywords_per_object) <=
+                  params.vocabulary_size);
+}
+
+std::vector<KeywordId> KeywordModel::KeywordsOf(
+    const ObjectId& object) const {
+  std::vector<KeywordId> keywords;
+  keywords.reserve(params_.keywords_per_object);
+  uint64_t seed = object.Packed();
+  uint32_t salt = 0;
+  while (keywords.size() <
+         static_cast<size_t>(params_.keywords_per_object)) {
+    KeywordId candidate = static_cast<KeywordId>(
+        HashCombine(seed, salt++) % params_.vocabulary_size);
+    if (std::find(keywords.begin(), keywords.end(), candidate) ==
+        keywords.end()) {
+      keywords.push_back(candidate);
+    }
+  }
+  return keywords;
+}
+
+bool KeywordModel::Matches(const ObjectId& object, KeywordId keyword) const {
+  std::vector<KeywordId> keywords = KeywordsOf(object);
+  return std::find(keywords.begin(), keywords.end(), keyword) !=
+         keywords.end();
+}
+
+}  // namespace flowercdn

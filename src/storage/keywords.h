@@ -1,0 +1,45 @@
+#ifndef FLOWERCDN_STORAGE_KEYWORDS_H_
+#define FLOWERCDN_STORAGE_KEYWORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/object_id.h"
+
+namespace flowercdn {
+
+/// Identifier of a keyword within one website's vocabulary.
+using KeywordId = uint32_t;
+
+/// Synthetic semantic model for the paper's future-work extension
+/// ("sophisticated search functionalities wrt semantic search"): each web
+/// object carries a small deterministic set of keywords drawn from its
+/// website's vocabulary. Deterministic hashing keeps every peer's view of
+/// an object's keywords consistent without any metadata exchange.
+class KeywordModel {
+ public:
+  struct Params {
+    /// Vocabulary size per website.
+    uint32_t vocabulary_size = 64;
+    /// Keywords attached to each object.
+    int keywords_per_object = 3;
+  };
+
+  KeywordModel() : KeywordModel(Params{}) {}
+  explicit KeywordModel(const Params& params);
+
+  const Params& params() const { return params_; }
+
+  /// The (deterministic) keywords of an object.
+  std::vector<KeywordId> KeywordsOf(const ObjectId& object) const;
+
+  /// True if `object` carries `keyword`.
+  bool Matches(const ObjectId& object, KeywordId keyword) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_STORAGE_KEYWORDS_H_

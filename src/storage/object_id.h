@@ -1,0 +1,47 @@
+#ifndef FLOWERCDN_STORAGE_OBJECT_ID_H_
+#define FLOWERCDN_STORAGE_OBJECT_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chord/id.h"
+
+namespace flowercdn {
+
+/// Index of a website in the catalog W (the paper supports |W| websites,
+/// each with its own requestable content).
+using WebsiteId = uint32_t;
+
+/// One cacheable web object: (website, object index within that website).
+struct ObjectId {
+  WebsiteId website = 0;
+  uint32_t object = 0;
+
+  /// Dense 64-bit encoding — used as Bloom-filter key and map key.
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(website) << 32) | object;
+  }
+
+  static ObjectId FromPacked(uint64_t packed) {
+    return ObjectId{static_cast<WebsiteId>(packed >> 32),
+                    static_cast<uint32_t>(packed & 0xffffffffULL)};
+  }
+
+  /// Synthetic URL, e.g. "http://ws42.example/obj17" — what Squirrel hashes
+  /// to find an object's home node.
+  std::string Url() const {
+    return "http://ws" + std::to_string(website) + ".example/obj" +
+           std::to_string(object);
+  }
+
+  /// Ring position of this object's home node in Squirrel.
+  ChordId HomeKey() const { return ChordHash(Url()); }
+
+  friend bool operator==(const ObjectId& a, const ObjectId& b) {
+    return a.website == b.website && a.object == b.object;
+  }
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_STORAGE_OBJECT_ID_H_

@@ -1,0 +1,30 @@
+#include "storage/origin.h"
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+OriginServers::OriginServers(const Topology* topology, int num_websites,
+                             const Params& params, Rng rng)
+    : topology_(topology), params_(params) {
+  FLOWERCDN_CHECK(topology != nullptr);
+  FLOWERCDN_CHECK(num_websites >= 1);
+  coords_.reserve(num_websites);
+  double r = topology->params().landmark_radius * 1.2;
+  for (int ws = 0; ws < num_websites; ++ws) {
+    coords_.push_back(
+        Coord{rng.UniformDouble(-r, r), rng.UniformDouble(-r, r)});
+  }
+}
+
+double OriginServers::DistanceMs(const Coord& client, WebsiteId ws) const {
+  FLOWERCDN_CHECK(ws < coords_.size());
+  return topology_->LatencyMs(client, coords_[ws]);
+}
+
+double OriginServers::FetchLatencyMs(const Coord& client,
+                                     WebsiteId ws) const {
+  return 2.0 * DistanceMs(client, ws) + params_.server_overhead_ms;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,26 @@
+#include "storage/website.h"
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+WebsiteCatalog::WebsiteCatalog(const Params& params)
+    : params_(params),
+      zipf_(static_cast<size_t>(params.objects_per_website),
+            params.zipf_alpha) {
+  FLOWERCDN_CHECK(params.num_websites >= 1);
+  FLOWERCDN_CHECK(params.objects_per_website >= 1);
+  FLOWERCDN_CHECK(params.num_active >= 0 &&
+                  params.num_active <= params.num_websites);
+  for (int i = 0; i < params.num_active; ++i) {
+    active_.push_back(static_cast<WebsiteId>(i));
+  }
+}
+
+ObjectId WebsiteCatalog::SampleObject(WebsiteId ws, Rng& rng) const {
+  FLOWERCDN_CHECK(static_cast<int>(ws) < params_.num_websites);
+  uint32_t object = static_cast<uint32_t>(zipf_.Sample(rng));
+  return ObjectId{ws, object};
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,54 @@
+#ifndef FLOWERCDN_STORAGE_WEBSITE_H_
+#define FLOWERCDN_STORAGE_WEBSITE_H_
+
+#include <vector>
+
+#include "storage/object_id.h"
+#include "util/random.h"
+
+namespace flowercdn {
+
+/// The catalog of supported websites and their objects, plus the per-site
+/// Zipf popularity law (paper §6.1: 100 websites of 500 cacheable objects
+/// each, Zipf-distributed requests following Breslau et al. [2], and — to
+/// keep load manageable — only 6 "active" websites generate queries while
+/// the rest participate in churn only).
+class WebsiteCatalog {
+ public:
+  struct Params {
+    int num_websites = 100;
+    int objects_per_website = 500;
+    /// The first `num_active` websites generate queries.
+    int num_active = 6;
+    /// Zipf exponent for object popularity within a website.
+    double zipf_alpha = 0.8;
+  };
+
+  explicit WebsiteCatalog(const Params& params);
+
+  int num_websites() const { return params_.num_websites; }
+  int objects_per_website() const { return params_.objects_per_website; }
+  const Params& params() const { return params_; }
+
+  bool IsActive(WebsiteId ws) const {
+    return static_cast<int>(ws) < params_.num_active;
+  }
+
+  const std::vector<WebsiteId>& active_websites() const { return active_; }
+
+  /// Draws a Zipf-popular object of website `ws`.
+  ObjectId SampleObject(WebsiteId ws, Rng& rng) const;
+
+  /// Probability mass of an object's popularity rank (rank == object index;
+  /// object 0 is the most popular).
+  double ObjectPopularity(uint32_t object) const { return zipf_.Pmf(object); }
+
+ private:
+  Params params_;
+  ZipfDistribution zipf_;
+  std::vector<WebsiteId> active_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_STORAGE_WEBSITE_H_

@@ -1,0 +1,42 @@
+#include "storage/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+QueryWorkload::QueryWorkload(const WebsiteCatalog* catalog,
+                             const Params& params)
+    : catalog_(catalog), params_(params) {
+  FLOWERCDN_CHECK(catalog != nullptr);
+  FLOWERCDN_CHECK(params.mean_query_gap > 0);
+}
+
+std::optional<ObjectId> QueryWorkload::NextQuery(WebsiteId ws,
+                                                 const ContentStore& store,
+                                                 Rng& rng) const {
+  // Rejection-sample the Zipf law against the local cache. The cache is
+  // tiny relative to the 500-object site in all paper configurations, so
+  // this nearly always succeeds in a few draws.
+  for (int attempt = 0; attempt < params_.max_sample_attempts; ++attempt) {
+    ObjectId candidate = catalog_->SampleObject(ws, rng);
+    if (!store.Contains(candidate)) return candidate;
+  }
+  // Heavily saturated cache: scan for any missing object (keeps the
+  // workload well-defined even in extreme long runs).
+  for (int object = 0; object < catalog_->objects_per_website(); ++object) {
+    ObjectId candidate{ws, static_cast<uint32_t>(object)};
+    if (!store.Contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+SimDuration QueryWorkload::NextQueryGap(Rng& rng) const {
+  double gap = rng.Exponential(static_cast<double>(params_.mean_query_gap));
+  return std::max<SimDuration>(static_cast<SimDuration>(std::llround(gap)),
+                               1);
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,48 @@
+#ifndef FLOWERCDN_STORAGE_WORKLOAD_H_
+#define FLOWERCDN_STORAGE_WORKLOAD_H_
+
+#include <optional>
+
+#include "sim/types.h"
+#include "storage/content_store.h"
+#include "storage/website.h"
+#include "util/random.h"
+
+namespace flowercdn {
+
+/// Query workload of the paper's evaluation (§6.1): a peer interested in an
+/// active website submits one query every `mean_query_gap` on average from
+/// arrival until failure, always for an object it does not hold locally
+/// ("a peer only poses queries for objects unavailable in its local
+/// storage; it never issues the same query more than once").
+class QueryWorkload {
+ public:
+  struct Params {
+    /// Mean gap between two queries of one peer (Table 1: 1 query / 6 min).
+    SimDuration mean_query_gap = 6 * kMinute;
+    /// Attempts at drawing an object absent from the local store before
+    /// concluding the peer has nothing left to ask for.
+    int max_sample_attempts = 64;
+  };
+
+  QueryWorkload(const WebsiteCatalog* catalog, const Params& params);
+
+  /// Draws the next query of a peer interested in `ws`, skipping objects in
+  /// `store`. Returns nullopt when the peer's interest set is (practically)
+  /// exhausted.
+  std::optional<ObjectId> NextQuery(WebsiteId ws, const ContentStore& store,
+                                    Rng& rng) const;
+
+  /// Exponential gap until the peer's next query.
+  SimDuration NextQueryGap(Rng& rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const WebsiteCatalog* catalog_;
+  Params params_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_STORAGE_WORKLOAD_H_

@@ -1,0 +1,72 @@
+#include "util/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace flowercdn {
+
+BloomFilter::BloomFilter(size_t expected_keys, double false_positive_rate) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  false_positive_rate = std::clamp(false_positive_rate, 1e-6, 0.5);
+  // Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = std::log(2.0);
+  double m = -static_cast<double>(expected_keys) *
+             std::log(false_positive_rate) / (ln2 * ln2);
+  bit_count_ = std::max<size_t>(static_cast<size_t>(std::ceil(m)), 64);
+  num_hashes_ = std::max<size_t>(
+      static_cast<size_t>(std::round(m / expected_keys * ln2)), 1);
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::Probes(uint64_t key, uint64_t* h1, uint64_t* h2) const {
+  *h1 = Mix64(key);
+  *h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;  // odd => full-period probing
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  if (bit_count_ == 0) return;
+  uint64_t h1, h2;
+  Probes(key, &h1, &h2);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bit_count_;
+    bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  ++inserted_count_;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (bit_count_ == 0) return false;
+  uint64_t h1, h2;
+  Probes(key, &h1, &h2);
+  for (size_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::UnionWith(const BloomFilter& other) {
+  if (other.bit_count_ == 0) return Status::OK();
+  if (bit_count_ != other.bit_count_ || num_hashes_ != other.num_hashes_) {
+    return Status::InvalidArgument("bloom filter geometries differ");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  inserted_count_ += other.inserted_count_;
+  return Status::OK();
+}
+
+double BloomFilter::FillRatio() const {
+  if (bit_count_ == 0) return 0.0;
+  size_t set = 0;
+  for (uint64_t word : bits_) set += static_cast<size_t>(__builtin_popcountll(word));
+  return static_cast<double>(set) / static_cast<double>(bit_count_);
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_count_ = 0;
+}
+
+}  // namespace flowercdn

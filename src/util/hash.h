@@ -1,0 +1,22 @@
+#ifndef FLOWERCDN_UTIL_HASH_H_
+#define FLOWERCDN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace flowercdn {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms and
+/// runs; used wherever the simulation needs a stable name -> number mapping
+/// (Chord keys, RNG stream forking, Bloom filter probes).
+uint64_t Hash64(std::string_view bytes);
+
+/// Hashes a 64-bit value (SplitMix64 finalizer — a strong avalanche mix).
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes into one (order-sensitive).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_UTIL_HASH_H_

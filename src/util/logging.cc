@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flowercdn {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(level >= g_level || level == LogLevel::kFatal) {
+  if (enabled_) {
+    // Keep only the basename to reduce noise.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace flowercdn

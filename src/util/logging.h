@@ -1,0 +1,64 @@
+#ifndef FLOWERCDN_UTIL_LOGGING_H_
+#define FLOWERCDN_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace flowercdn {
+
+/// Severity levels, least to most severe. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+/// Global severity threshold; messages below it are discarded. Defaults to
+/// kWarning so that simulations stay quiet unless a caller opts in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a line and emits it on destruction.
+/// Do not use directly; use the FLOWERCDN_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flowercdn
+
+/// Emits a log line at the given level, e.g.
+///   FLOWERCDN_LOG(kInfo) << "peer " << id << " joined";
+#define FLOWERCDN_LOG(level)                                             \
+  ::flowercdn::internal::LogMessage(::flowercdn::LogLevel::level,        \
+                                    __FILE__, __LINE__)
+
+/// Fatal-if-false invariant check, active in all build types.
+#define FLOWERCDN_CHECK(condition)                                       \
+  if (!(condition))                                                      \
+  FLOWERCDN_LOG(kFatal) << "Check failed: " #condition " "
+
+#endif  // FLOWERCDN_UTIL_LOGGING_H_

@@ -1,0 +1,121 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace flowercdn {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  s_[0] = SplitMix64(sm);
+  s_[1] = SplitMix64(sm);
+  s_[2] = SplitMix64(sm);
+  s_[3] = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256++ (Blackman & Vigna, public domain reference implementation).
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);  // guard log(0)
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork(std::string_view tag) const {
+  return Rng(seed_ ^ Hash64(tag));
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double alpha) : alpha_(alpha) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = sum;
+  }
+  for (size_t r = 0; r < n; ++r) cdf_[r] /= sum;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t r) const {
+  assert(r < cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,107 @@
+#ifndef FLOWERCDN_UTIL_RANDOM_H_
+#define FLOWERCDN_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace flowercdn {
+
+/// Deterministic pseudo-random generator (xoshiro256++ seeded via
+/// splitmix64). All simulation randomness flows through instances of this
+/// class, so a run is exactly reproducible from one seed. Satisfies the
+/// UniformRandomBitGenerator concept, so it also works with <random>
+/// distributions if ever needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// peer uptimes and Poisson inter-arrival gaps (churn model of the paper).
+  double Exponential(double mean);
+
+  /// Returns a new generator whose stream is a deterministic function of
+  /// this generator's seed and `tag` — *not* of how many numbers have been
+  /// drawn so far. Use it to give independent subsystems independent
+  /// streams ("fork by name") so adding draws in one subsystem does not
+  /// perturb another.
+  Rng Fork(std::string_view tag) const;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t Index(size_t size) {
+    assert(size > 0);
+    return static_cast<size_t>(NextBounded(size));
+  }
+
+ private:
+  Rng(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3)
+      : s_{s0, s1, s2, s3} {}
+
+  uint64_t seed_ = 0;  // retained for Fork()
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks over {0, ..., n-1}: rank r is drawn with
+/// probability proportional to 1/(r+1)^alpha. The paper's workload follows
+/// Breslau et al. [2] (web requests are Zipf-like with alpha ~= 0.6-0.9).
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1, `alpha` >= 0 (alpha = 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double alpha);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Probability mass of rank `r`.
+  double Pmf(size_t r) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_UTIL_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef FLOWERCDN_UTIL_RESULT_H_
+#define FLOWERCDN_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace flowercdn {
+
+/// Value-or-error return type: either holds a `T` or a non-OK `Status`.
+/// Mirrors arrow::Result / absl::StatusOr. Since the library is built
+/// without exceptions, accessing the value of an errored Result is a
+/// programming error checked by assert.
+///
+/// Usage:
+///   Result<PeerId> r = ring.Lookup(key);
+///   if (!r.ok()) return r.status();
+///   Use(*r);
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirroring StatusOr ergonomics).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flowercdn
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// status. `lhs` may include a declaration, e.g.
+///   FLOWERCDN_ASSIGN_OR_RETURN(auto peer, ring.Lookup(key));
+#define FLOWERCDN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define FLOWERCDN_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define FLOWERCDN_ASSIGN_OR_RETURN_NAME(a, b) \
+  FLOWERCDN_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define FLOWERCDN_ASSIGN_OR_RETURN(lhs, expr)                           \
+  FLOWERCDN_ASSIGN_OR_RETURN_IMPL(                                      \
+      FLOWERCDN_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+#endif  // FLOWERCDN_UTIL_RESULT_H_

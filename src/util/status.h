@@ -1,0 +1,106 @@
+#ifndef FLOWERCDN_UTIL_STATUS_H_
+#define FLOWERCDN_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace flowercdn {
+
+/// Coarse error taxonomy used across the library. The codes mirror the
+/// classic Status idiom of database engines (RocksDB / Arrow): a small fixed
+/// enum plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,   // transient: peer offline, message timed out
+  kTimedOut,      // an RPC deadline expired
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "not_found").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation, carrying an error code and message on
+/// failure. The library does not use C++ exceptions; every operation that
+/// can fail returns `Status` (or `Result<T>`, see result.h).
+///
+/// Usage:
+///   Status s = node.Join(bootstrap);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace flowercdn
+
+/// Propagates a non-OK status to the caller; evaluates `expr` exactly once.
+#define FLOWERCDN_RETURN_NOT_OK(expr)                    \
+  do {                                                   \
+    ::flowercdn::Status _status = (expr);                \
+    if (!_status.ok()) return _status;                   \
+  } while (false)
+
+#endif  // FLOWERCDN_UTIL_STATUS_H_

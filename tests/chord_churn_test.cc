@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/chord_node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+/// Chord under sustained churn: nodes keep failing and re-joining while
+/// background lookups measure routing health — the property the whole
+/// evaluation depends on.
+class ChordChurnTest : public ::testing::Test {
+ protected:
+  struct Host : SimNode {
+    Host(Network* network, PeerId self, ChordId id)
+        : chord(network, self, id, ChordNode::Params{}) {}
+    void HandleMessage(MessagePtr msg) override { chord.HandleMessage(msg); }
+    ChordNode chord;
+  };
+
+  ChordChurnTest()
+      : topology_(Topology::Params{}), network_(&sim_, &topology_) {}
+
+  void Register(int n) {
+    Rng rng(5);
+    for (int i = 0; i < n; ++i) {
+      PeerId p = static_cast<PeerId>(i + 1);
+      network_.RegisterIdentity(p, topology_.PlaceInLocality(i % 6, rng));
+      ids_.push_back(ChordHash("node" + std::to_string(i)));
+    }
+  }
+
+  void StartNode(int i, PeerId bootstrap) {
+    PeerId p = static_cast<PeerId>(i + 1);
+    hosts_[p] = std::make_unique<Host>(&network_, p, ids_[i]);
+    Incarnation inc = network_.Attach(p, hosts_[p].get());
+    hosts_[p]->chord.Bind(inc);
+    if (bootstrap == kInvalidPeer) {
+      hosts_[p]->chord.CreateRing();
+    } else {
+      hosts_[p]->chord.Join(bootstrap, [](const Status&) {});
+    }
+  }
+
+  void KillNode(int i) {
+    PeerId p = static_cast<PeerId>(i + 1);
+    network_.Detach(p);
+    hosts_.erase(p);
+  }
+
+  PeerId AnyLivePeer(Rng& rng) {
+    std::vector<PeerId> live;
+    for (auto& [p, h] : hosts_) {
+      if (h->chord.active()) live.push_back(p);
+    }
+    if (live.empty()) return kInvalidPeer;
+    return live[rng.Index(live.size())];
+  }
+
+  Simulator sim_;
+  Topology topology_;
+  Network network_;
+  std::vector<ChordId> ids_;
+  std::unordered_map<PeerId, std::unique_ptr<Host>> hosts_;
+};
+
+TEST_F(ChordChurnTest, LookupsKeepSucceedingUnderContinuousChurn) {
+  const int kUniverse = 60;
+  Register(kUniverse);
+  StartNode(0, kInvalidPeer);
+  for (int i = 1; i < 40; ++i) StartNode(i, 1);
+  sim_.RunUntil(10 * kMinute);
+
+  Rng rng(11);
+  int issued = 0, succeeded = 0;
+  // 2 simulated hours of churn: every minute one node dies and one
+  // (re-)joins; every 30 s a lookup from a random live node.
+  for (int minute = 0; minute < 120; ++minute) {
+    // Churn tick.
+    std::vector<int> live_indices;
+    std::vector<int> dead_indices;
+    for (int i = 0; i < kUniverse; ++i) {
+      PeerId p = static_cast<PeerId>(i + 1);
+      if (network_.HasIdentity(p) && network_.IsAlive(p)) {
+        live_indices.push_back(i);
+      } else {
+        dead_indices.push_back(i);
+      }
+    }
+    if (live_indices.size() > 10) {
+      KillNode(live_indices[rng.Index(live_indices.size())]);
+    }
+    if (!dead_indices.empty()) {
+      int joiner = dead_indices[rng.Index(dead_indices.size())];
+      PeerId bootstrap = AnyLivePeer(rng);
+      if (bootstrap != kInvalidPeer) StartNode(joiner, bootstrap);
+    }
+    // Lookup probes.
+    for (int probe = 0; probe < 2; ++probe) {
+      PeerId origin = AnyLivePeer(rng);
+      if (origin == kInvalidPeer) continue;
+      ChordId key = rng.Next();
+      ++issued;
+      hosts_[origin]->chord.Lookup(
+          key, [&succeeded](const Status& status, RingPeer, int) {
+            if (status.ok()) ++succeeded;
+          });
+    }
+    sim_.RunUntil(sim_.now() + kMinute);
+  }
+  sim_.RunUntil(sim_.now() + kMinute);
+  ASSERT_GT(issued, 200);
+  double success_rate = static_cast<double>(succeeded) / issued;
+  EXPECT_GT(success_rate, 0.9)
+      << "chord routing collapses under churn: " << succeeded << "/"
+      << issued;
+}
+
+TEST_F(ChordChurnTest, RingRemainsOrderedAfterChurnQuiesces) {
+  const int kUniverse = 30;
+  Register(kUniverse);
+  StartNode(0, kInvalidPeer);
+  for (int i = 1; i < kUniverse; ++i) StartNode(i, 1);
+  sim_.RunUntil(10 * kMinute);
+
+  Rng rng(13);
+  // Kill 10, rejoin 5, then let everything settle.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> live;
+    for (int i = 0; i < kUniverse; ++i) {
+      if (network_.IsAlive(static_cast<PeerId>(i + 1))) live.push_back(i);
+    }
+    KillNode(live[rng.Index(live.size())]);
+    sim_.RunUntil(sim_.now() + 30 * kSecond);
+  }
+  for (int round = 0; round < 5; ++round) {
+    std::vector<int> dead;
+    for (int i = 0; i < kUniverse; ++i) {
+      if (!network_.IsAlive(static_cast<PeerId>(i + 1))) dead.push_back(i);
+    }
+    PeerId bootstrap = AnyLivePeer(rng);
+    StartNode(dead[rng.Index(dead.size())], bootstrap);
+    sim_.RunUntil(sim_.now() + 30 * kSecond);
+  }
+  sim_.RunUntil(sim_.now() + 10 * kMinute);
+
+  // Every live node's successor must be the true clockwise next live node.
+  std::vector<ChordNode*> live;
+  for (auto& [p, h] : hosts_) {
+    if (h->chord.active()) live.push_back(&h->chord);
+  }
+  std::sort(live.begin(), live.end(),
+            [](ChordNode* a, ChordNode* b) { return a->id() < b->id(); });
+  for (size_t i = 0; i < live.size(); ++i) {
+    ASSERT_TRUE(live[i]->successor().has_value());
+    EXPECT_EQ(live[i]->successor()->peer,
+              live[(i + 1) % live.size()]->self());
+  }
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,166 @@
+#include "flower/dring_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "chord/chord_node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+/// Host combining a ChordNode (ring member) for bootstrap duty.
+class RingHost : public SimNode {
+ public:
+  RingHost(Network* network, PeerId self, ChordId id)
+      : chord_(network, self, id, ChordNode::Params{}) {}
+  void HandleMessage(MessagePtr msg) override { chord_.HandleMessage(msg); }
+  ChordNode& chord() { return chord_; }
+
+ private:
+  ChordNode chord_;
+};
+
+/// Host for a non-ring client using only the resolver.
+class ClientHost : public SimNode {
+ public:
+  ClientHost(Network* network, PeerId self) : resolver_(network, self) {}
+  void HandleMessage(MessagePtr msg) override {
+    resolver_.HandleMessage(msg);
+  }
+  DRingResolver& resolver() { return resolver_; }
+
+ private:
+  DRingResolver resolver_;
+};
+
+class DRingResolverTest : public ::testing::Test {
+ protected:
+  DRingResolverTest()
+      : topology_(Topology::Params{}), network_(&sim_, &topology_) {}
+
+  void BuildRing(int n) {
+    Rng rng(3);
+    for (int i = 0; i < n; ++i) {
+      PeerId p = static_cast<PeerId>(i + 1);
+      network_.RegisterIdentity(p, topology_.PlaceInLocality(i % 6, rng));
+      ring_.push_back(std::make_unique<RingHost>(
+          &network_, p, ChordHash("n" + std::to_string(i))));
+      Incarnation inc = network_.Attach(p, ring_.back().get());
+      ring_.back()->chord().Bind(inc);
+    }
+    ring_[0]->chord().CreateRing();
+    for (int i = 1; i < n; ++i) {
+      sim_.Schedule(i * 100, [this, i]() {
+        ring_[i]->chord().Join(1, [](const Status& s) {
+          ASSERT_TRUE(s.ok());
+        });
+      });
+    }
+    sim_.RunUntil(sim_.now() + 5 * kMinute);
+  }
+
+  ClientHost* MakeClient(PeerId id) {
+    Rng rng(id);
+    network_.RegisterIdentity(id, topology_.PlaceInLocality(0, rng));
+    clients_.push_back(std::make_unique<ClientHost>(&network_, id));
+    Incarnation inc = network_.Attach(id, clients_.back().get());
+    clients_.back()->resolver().Bind(inc);
+    return clients_.back().get();
+  }
+
+  Simulator sim_;
+  Topology topology_;
+  Network network_;
+  std::vector<std::unique_ptr<RingHost>> ring_;
+  std::vector<std::unique_ptr<ClientHost>> clients_;
+};
+
+TEST_F(DRingResolverTest, ResolvesThroughBootstrap) {
+  BuildRing(12);
+  ClientHost* client = MakeClient(100);
+  Rng keys(7);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    ChordId key = keys.Next();
+    client->resolver().Resolve(
+        /*via=*/5, key, 6 * kSecond,
+        [&, key](const Status& status, RingPeer owner) {
+          ASSERT_TRUE(status.ok()) << status.ToString();
+          // Verify ground truth: owner must be the clockwise-closest node.
+          ChordId best = 0;
+          PeerId expected = kInvalidPeer;
+          for (auto& h : ring_) {
+            ChordId d = RingDistance(key, h->chord().id());
+            if (expected == kInvalidPeer || d < best) {
+              best = d;
+              expected = h->chord().self();
+            }
+          }
+          EXPECT_EQ(owner.peer, expected);
+          ++completed;
+        });
+  }
+  sim_.RunUntil(sim_.now() + kMinute);
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(client->resolver().pending(), 0u);
+}
+
+TEST_F(DRingResolverTest, DeadBootstrapFailsFast) {
+  BuildRing(6);
+  ClientHost* client = MakeClient(100);
+  network_.Detach(3);
+  Status result;
+  SimTime started_at = sim_.now();
+  SimTime completed_at = 0;
+  client->resolver().Resolve(3, 12345, 30 * kSecond,
+                             [&](const Status& status, RingPeer) {
+                               result = status;
+                               completed_at = sim_.now();
+                             });
+  sim_.RunUntil(sim_.now() + kMinute);
+  EXPECT_TRUE(result.IsUnavailable()) << result.ToString();
+  EXPECT_LT(completed_at - started_at, 3 * kSecond)
+      << "should fail via NACK, not timeout";
+}
+
+TEST_F(DRingResolverTest, SilentRingTimesOut) {
+  BuildRing(6);
+  ClientHost* client = MakeClient(100);
+  // Kill everyone after the bootstrap acks: the answer never arrives.
+  Status result;
+  client->resolver().Resolve(2, 999, 3 * kSecond,
+                             [&](const Status& status, RingPeer) {
+                               result = status;
+                             });
+  // Let the request reach peer 2, then kill the whole ring.
+  sim_.RunUntil(sim_.now() + 50);
+  for (int i = 0; i < 6; ++i) {
+    if (network_.IsAlive(static_cast<PeerId>(i + 1))) {
+      network_.Detach(static_cast<PeerId>(i + 1));
+    }
+  }
+  sim_.RunUntil(sim_.now() + kMinute);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DRingResolverTest, UnrelatedLookupResultsAreNotClaimed) {
+  BuildRing(4);
+  ClientHost* client = MakeClient(100);
+  // Forge a lookup result with an unknown id; the resolver must not crash
+  // or consume state.
+  auto forged = std::make_unique<ChordLookupResultMsg>();
+  forged->lookup_id = 424242;
+  forged->owner = RingPeer{1, 1};
+  network_.Send(1, 100, std::move(forged));
+  sim_.RunUntil(sim_.now() + kMinute);
+  EXPECT_EQ(client->resolver().pending(), 0u);
+}
+
+}  // namespace
+}  // namespace flowercdn

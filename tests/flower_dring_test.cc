@@ -1,0 +1,170 @@
+#include "flower/dring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "flower/directory_index.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(DRingKeyspaceTest, IdsAreUniqueAndOrdered) {
+  DRingKeyspace keyspace(100, 6, 16);
+  std::set<ChordId> ids;
+  ChordId prev = 0;
+  bool first = true;
+  for (int ws = 0; ws < 100; ++ws) {
+    for (int loc = 0; loc < 6; ++loc) {
+      for (int inst = 0; inst < 16; ++inst) {
+        ChordId id = keyspace.IdOf(ws, loc, inst);
+        EXPECT_TRUE(ids.insert(id).second) << "duplicate id";
+        if (!first) {
+          EXPECT_GT(id, prev) << "ids not monotonically laid out";
+        }
+        prev = id;
+        first = false;
+      }
+    }
+  }
+  EXPECT_EQ(ids.size(), 100u * 6 * 16);
+}
+
+TEST(DRingKeyspaceTest, SameWebsiteIsContiguous) {
+  // "directory peers for the same website have successive peer IDs and are
+  // neighbors on D-ring" (§3.2).
+  DRingKeyspace keyspace(10, 6, 4);
+  for (int ws = 0; ws < 10; ++ws) {
+    ChordId lo = keyspace.IdOf(ws, 0, 0);
+    ChordId hi = keyspace.IdOf(ws, 5, 3);
+    // No id of another website may fall inside [lo, hi].
+    for (int other = 0; other < 10; ++other) {
+      if (other == ws) continue;
+      for (int loc = 0; loc < 6; ++loc) {
+        for (int inst = 0; inst < 4; ++inst) {
+          ChordId id = keyspace.IdOf(other, loc, inst);
+          EXPECT_FALSE(id >= lo && id <= hi)
+              << "website " << other << " interleaves website " << ws;
+        }
+      }
+    }
+  }
+}
+
+TEST(DRingKeyspaceTest, PetalUpInstancesAreAdjacent) {
+  DRingKeyspace keyspace(100, 6, 16);
+  // Consecutive instances of one petal must be consecutive positions.
+  for (int inst = 0; inst + 1 < 16; ++inst) {
+    ChordId a = keyspace.IdOf(7, 3, inst);
+    ChordId b = keyspace.IdOf(7, 3, inst + 1);
+    EXPECT_LT(a, b);
+    // Nothing between them.
+    auto pos_a = keyspace.PositionOf(a);
+    auto pos_b = keyspace.PositionOf(b);
+    ASSERT_TRUE(pos_a.has_value());
+    ASSERT_TRUE(pos_b.has_value());
+    EXPECT_EQ(pos_b->instance, pos_a->instance + 1);
+  }
+}
+
+class DRingInverseTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DRingInverseTest, PositionOfInvertsIdOf) {
+  auto [num_websites, num_localities, max_instances] = GetParam();
+  DRingKeyspace keyspace(num_websites, num_localities, max_instances);
+  for (int ws = 0; ws < num_websites; ++ws) {
+    for (int loc = 0; loc < num_localities; ++loc) {
+      for (int inst = 0; inst < max_instances; ++inst) {
+        ChordId id = keyspace.IdOf(ws, loc, inst);
+        auto pos = keyspace.PositionOf(id);
+        ASSERT_TRUE(pos.has_value()) << "no inverse for id " << id;
+        EXPECT_EQ(pos->website, static_cast<WebsiteId>(ws));
+        EXPECT_EQ(pos->locality, loc);
+        EXPECT_EQ(pos->instance, inst);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DRingInverseTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(100, 6, 16),
+                      std::make_tuple(7, 5, 3)));
+
+TEST(DRingKeyspaceTest, NonPositionIdsHaveNoInverse) {
+  DRingKeyspace keyspace(100, 6, 16);
+  ChordId id = keyspace.IdOf(50, 3, 7);
+  EXPECT_FALSE(keyspace.PositionOf(id + 1).has_value());
+  EXPECT_FALSE(keyspace.PositionOf(id - 1).has_value());
+}
+
+// --- DirectoryIndex -----------------------------------------------------------
+
+TEST(DirectoryIndexTest, AddAndLookup) {
+  DirectoryIndex index;
+  index.Add(10, {1, 2});
+  index.Add(11, {1, 2});
+  index.Add(10, {1, 3});
+  EXPECT_EQ(index.Providers({1, 2}).size(), 2u);
+  EXPECT_EQ(index.Providers({1, 3}).size(), 1u);
+  EXPECT_TRUE(index.Providers({9, 9}).empty());
+  EXPECT_EQ(index.num_peers(), 2u);
+  EXPECT_EQ(index.num_entries(), 3u);
+}
+
+TEST(DirectoryIndexTest, DuplicateAddIsIdempotent) {
+  DirectoryIndex index;
+  index.Add(10, {1, 2});
+  index.Add(10, {1, 2});
+  EXPECT_EQ(index.Providers({1, 2}).size(), 1u);
+  EXPECT_EQ(index.num_entries(), 1u);
+}
+
+TEST(DirectoryIndexTest, RemovePeerPrunesEverything) {
+  DirectoryIndex index;
+  index.Add(10, {1, 2});
+  index.Add(11, {1, 2});
+  index.Add(10, {1, 5});
+  index.RemovePeer(10);
+  EXPECT_EQ(index.Providers({1, 2}).size(), 1u);
+  EXPECT_TRUE(index.Providers({1, 5}).empty());
+  EXPECT_FALSE(index.ContainsPeer(10));
+  EXPECT_EQ(index.num_peers(), 1u);
+}
+
+TEST(DirectoryIndexTest, ReplaceSwapsObjectSet) {
+  DirectoryIndex index;
+  index.Add(10, {1, 1});
+  index.ReplacePeerObjects(10, {{1, 2}, {1, 3}});
+  EXPECT_TRUE(index.Providers({1, 1}).empty());
+  EXPECT_EQ(index.Providers({1, 2}).size(), 1u);
+  EXPECT_EQ(index.Providers({1, 3}).size(), 1u);
+}
+
+TEST(DirectoryIndexTest, SnapshotRoundTrips) {
+  DirectoryIndex index;
+  index.Add(10, {1, 1});
+  index.Add(10, {1, 2});
+  index.Add(11, {1, 1});
+  DirectoryIndex::Snapshot snapshot = index.TakeSnapshot();
+  DirectoryIndex copy;
+  copy.Restore(snapshot);
+  EXPECT_EQ(copy.num_peers(), 2u);
+  EXPECT_EQ(copy.num_entries(), 3u);
+  EXPECT_EQ(copy.Providers({1, 1}).size(), 2u);
+}
+
+TEST(DirectoryIndexTest, ClearResets) {
+  DirectoryIndex index;
+  index.Add(10, {1, 1});
+  index.Clear();
+  EXPECT_EQ(index.num_peers(), 0u);
+  EXPECT_EQ(index.num_entries(), 0u);
+  EXPECT_TRUE(index.Providers({1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "expt/experiment.h"
+#include "expt/flower_system.h"
+
+namespace flowercdn {
+namespace {
+
+/// Churn-free (failures effectively disabled, arrivals kept realistic)
+/// Flower-CDN deployments: every protocol step should work crisply when
+/// nobody dies.
+ExperimentConfig NoChurnConfig() {
+  ExperimentConfig config;
+  config.seed = 21;
+  config.target_population = 150;
+  config.universe_factor = 1.0;
+  config.catalog.num_websites = 4;
+  config.catalog.num_active = 2;
+  config.catalog.objects_per_website = 100;
+  // Failures effectively never fire; arrivals flow at a fixed rate so the
+  // whole universe comes online during the first hours.
+  config.mean_uptime = 100000 * kHour;
+  config.arrival_rate_override_per_ms = 150.0 / (2.0 * kHour);
+  config.duration = 8 * kHour;
+  return config;
+}
+
+TEST(FlowerNoChurnTest, QueriesHitAfterWarmup) {
+  ExperimentResult result =
+      RunExperiment(NoChurnConfig(), SystemKind::kFlowerCdn);
+
+  EXPECT_GT(result.total_queries, 100u);
+  // Without failures the P2P system should serve the bulk of repeat
+  // queries: popular objects spread through petals.
+  EXPECT_GT(result.hit_ratio, 0.45) << "hit ratio too low without churn";
+  // Admission must work: roughly one new-client query per active session.
+  double nc_share = result.total_queries
+                        ? static_cast<double>(result.new_client_queries) /
+                              result.total_queries
+                        : 0;
+  EXPECT_LT(nc_share, 0.25) << "clients are not being admitted to petals";
+  // No failures => directory peers answer reliably.
+  EXPECT_LT(result.flower_stats.dir_query_timeouts, 20u);
+  // Established-peer lookups must be locality-fast.
+  EXPECT_LT(result.mean_established_lookup_ms, 500.0);
+}
+
+TEST(FlowerNoChurnTest, DirectoriesStayWithinLoadLimitViaPetalUp) {
+  ExperimentConfig config = NoChurnConfig();
+  // Squeeze petals into two localities and lower the load limit so that
+  // PetalUp has to split directories.
+  config.topology.num_localities = 2;
+  config.catalog.num_websites = 2;
+  config.catalog.num_active = 2;
+  config.flower.max_directory_load = 10;
+  ExperimentResult result = RunExperiment(config, SystemKind::kFlowerCdn);
+  EXPECT_GT(result.flower_stats.promotions_triggered, 0u)
+      << "PetalUp never split an overloaded directory";
+  EXPECT_GT(result.flower_stats.max_observed_instance, 0);
+  // The hit ratio should not collapse because of splitting.
+  EXPECT_GT(result.hit_ratio, 0.4);
+}
+
+TEST(FlowerNoChurnTest, SquirrelBaselineAlsoWorksWithoutChurn) {
+  ExperimentResult result =
+      RunExperiment(NoChurnConfig(), SystemKind::kSquirrel);
+  EXPECT_GT(result.total_queries, 100u);
+  // With a stable ring and immortal homes, Squirrel's directory scheme
+  // works well — the paper's point is that churn breaks it, not that it
+  // never works.
+  EXPECT_GT(result.hit_ratio, 0.45);
+}
+
+}  // namespace
+}  // namespace flowercdn

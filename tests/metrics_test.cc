@@ -1,0 +1,120 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+QueryRecord MakeRecord(SimTime at, bool hit, double lookup, double transfer,
+                       bool new_client = false) {
+  QueryRecord r;
+  r.issued_at = at;
+  r.hit = hit;
+  r.lookup_latency_ms = lookup;
+  r.transfer_distance_ms = transfer;
+  r.from_new_client = new_client;
+  return r;
+}
+
+TEST(MetricsTest, EmptyCollector) {
+  MetricsCollector metrics;
+  EXPECT_EQ(metrics.total_queries(), 0u);
+  EXPECT_EQ(metrics.HitRatio(), 0.0);
+  EXPECT_TRUE(metrics.TimeSeries().empty());
+}
+
+TEST(MetricsTest, HitRatioCountsHitsOverTotal) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(0, true, 100, 50));
+  metrics.RecordQuery(MakeRecord(0, false, 400, 200));
+  metrics.RecordQuery(MakeRecord(0, true, 120, 60));
+  metrics.RecordQuery(MakeRecord(0, false, 500, 300));
+  EXPECT_DOUBLE_EQ(metrics.HitRatio(), 0.5);
+  EXPECT_EQ(metrics.hits(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.MeanLookupMs(), 280.0);
+  EXPECT_DOUBLE_EQ(metrics.MeanTransferHitsMs(), 55.0);
+  EXPECT_DOUBLE_EQ(metrics.MeanTransferMs(), 152.5);
+}
+
+TEST(MetricsTest, HitHistogramsOnlyCountHits) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(0, true, 100, 50));
+  metrics.RecordQuery(MakeRecord(0, false, 2000, 400));
+  EXPECT_EQ(metrics.lookup_hits().count(), 1u);
+  EXPECT_EQ(metrics.lookup_all().count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.lookup_hits().Mean(), 100.0);
+}
+
+TEST(MetricsTest, TimeSeriesBucketsByHour) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(10 * kMinute, true, 1, 1));
+  metrics.RecordQuery(MakeRecord(50 * kMinute, false, 1, 1));
+  metrics.RecordQuery(MakeRecord(90 * kMinute, true, 1, 1));
+  auto series = metrics.TimeSeries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].queries, 2u);
+  EXPECT_EQ(series[0].hits, 1u);
+  EXPECT_DOUBLE_EQ(series[0].WindowRatio(), 0.5);
+  EXPECT_EQ(series[1].queries, 1u);
+  EXPECT_EQ(series[1].bucket_start, kHour);
+}
+
+TEST(MetricsTest, EmptyWindowsAreKept) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(10, true, 1, 1));
+  metrics.RecordQuery(MakeRecord(3 * kHour + 1, true, 1, 1));
+  auto series = metrics.TimeSeries();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[1].queries, 0u);
+  EXPECT_EQ(series[2].queries, 0u);
+}
+
+TEST(MetricsTest, CumulativeSeriesIsRunningRatio) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(10, false, 1, 1));          // hour 0
+  metrics.RecordQuery(MakeRecord(kHour + 5, true, 1, 1));    // hour 1
+  metrics.RecordQuery(MakeRecord(kHour + 6, true, 1, 1));    // hour 1
+  metrics.RecordQuery(MakeRecord(2 * kHour + 7, true, 1, 1));  // hour 2
+  auto cumulative = metrics.CumulativeHitRatioSeries();
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_DOUBLE_EQ(cumulative[0], 0.0);
+  EXPECT_NEAR(cumulative[1], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cumulative[2], 0.75);
+}
+
+TEST(MetricsTest, NewClientSplit) {
+  MetricsCollector metrics;
+  metrics.RecordQuery(MakeRecord(0, true, 1000, 50, /*new_client=*/true));
+  metrics.RecordQuery(MakeRecord(0, false, 2000, 50, /*new_client=*/true));
+  metrics.RecordQuery(MakeRecord(0, true, 100, 50, /*new_client=*/false));
+  EXPECT_EQ(metrics.new_client_queries(), 2u);
+  EXPECT_EQ(metrics.new_client_hits(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.MeanNewClientLookupMs(), 1500.0);
+  EXPECT_DOUBLE_EQ(metrics.MeanEstablishedLookupMs(), 100.0);
+}
+
+TEST(MetricsTest, InvariantHitsNeverExceedQueries) {
+  MetricsCollector metrics;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    metrics.RecordQuery(MakeRecord(
+        static_cast<SimTime>(rng.NextBounded(24 * kHour)), rng.NextBool(0.4),
+        rng.UniformDouble(0, 3000), rng.UniformDouble(0, 500),
+        rng.NextBool(0.2)));
+  }
+  EXPECT_LE(metrics.hits(), metrics.total_queries());
+  EXPECT_LE(metrics.new_client_hits(), metrics.new_client_queries());
+  EXPECT_LE(metrics.new_client_queries(), metrics.total_queries());
+  uint64_t series_total = 0, series_hits = 0;
+  for (const auto& b : metrics.TimeSeries()) {
+    series_total += b.queries;
+    series_hits += b.hits;
+  }
+  EXPECT_EQ(series_total, metrics.total_queries());
+  EXPECT_EQ(series_hits, metrics.hits());
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+
+namespace flowercdn {
+namespace {
+
+/// PetalUp-CDN (§4) behaviours in isolation: one hot petal with a small
+/// directory load limit, no ambient churn.
+class PetalUpTest : public ::testing::Test {
+ protected:
+  ExperimentConfig MakeConfig(size_t load_limit) {
+    ExperimentConfig config;
+    config.seed = 88;
+    config.target_population = 120;
+    config.universe_factor = 1.0;
+    config.topology.num_localities = 1;
+    config.catalog.num_websites = 1;
+    config.catalog.num_active = 1;
+    config.catalog.objects_per_website = 100;
+    config.mean_uptime = 100000 * kHour;
+    config.arrival_rate_override_per_ms = 120.0 / (2.0 * kHour);
+    config.duration = 8 * kHour;
+    config.flower.max_directory_load = load_limit;
+    return config;
+  }
+};
+
+TEST_F(PetalUpTest, InstancesSpawnUntilLoadIsBounded) {
+  ExperimentConfig config = MakeConfig(12);
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  auto stats = system.ComputeStats();
+  EXPECT_GT(stats.promotions_triggered, 0u);
+  EXPECT_GT(stats.max_observed_instance, 0);
+  // Several instances coexist and each one's view is near the limit; the
+  // whole 120-peer petal cannot be on one directory.
+  EXPECT_GT(stats.live_directories, 3u);
+  double mean_load = 0;
+  size_t dirs = 0;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    FlowerPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr && s->role() == FlowerRole::kDirectoryPeer) {
+      mean_load += static_cast<double>(s->view().size());
+      ++dirs;
+    }
+  }
+  ASSERT_GT(dirs, 0u);
+  mean_load /= static_cast<double>(dirs);
+  EXPECT_LT(mean_load, 3.0 * 12) << "directories stay overloaded";
+}
+
+TEST_F(PetalUpTest, InstancesOccupyConsecutiveDRingPositions) {
+  ExperimentConfig config = MakeConfig(12);
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  // Collect the instances of petal (0,0); they must be exactly 0..n-1
+  // (consecutive ids, paper §4), not a sparse set.
+  std::vector<int> instances;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    FlowerPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr && s->role() == FlowerRole::kDirectoryPeer) {
+      instances.push_back(s->instance());
+    }
+  }
+  std::sort(instances.begin(), instances.end());
+  ASSERT_FALSE(instances.empty());
+  EXPECT_EQ(instances.front(), 0);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(instances[i], static_cast<int>(i))
+        << "instance sequence has a gap";
+  }
+}
+
+TEST_F(PetalUpTest, DisabledPetalUpMeansOneOverloadedDirectory) {
+  ExperimentConfig config = MakeConfig(12);
+  config.flower.petalup_enabled = false;
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  auto stats = system.ComputeStats();
+  EXPECT_EQ(stats.promotions_triggered, 0u);
+  EXPECT_EQ(stats.max_observed_instance, 0);
+  // The single directory absorbs (nearly) the whole petal.
+  EXPECT_GT(stats.max_observed_directory_load, 50u);
+}
+
+TEST_F(PetalUpTest, QueriesStillResolveAcrossInstances) {
+  ExperimentConfig config = MakeConfig(10);
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+  // Content spread across several instances must still be findable.
+  EXPECT_GT(env.metrics().HitRatio(), 0.35);
+  EXPECT_GT(env.metrics().total_queries(), 500u);
+}
+
+}  // namespace
+}  // namespace flowercdn

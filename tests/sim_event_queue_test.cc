@@ -1,0 +1,108 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(30, [&] { fired.push_back(3); });
+  q.Push(10, [&] { fired.push_back(1); });
+  q.Push(20, [&] { fired.push_back(2); });
+  while (!q.Empty()) {
+    SimTime when;
+    q.Pop(&when)();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsAreFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) {
+    SimTime when;
+    q.Pop(&when)();
+    EXPECT_EQ(when, 5);
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelSuppressesEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Push(10, [&] { fired = true; });
+  q.Push(20, [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.Size(), 1u);
+  SimTime when;
+  q.Pop(&when)();
+  EXPECT_EQ(when, 20);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  EventId id = q.Push(1, [] {});
+  SimTime when;
+  q.Pop(&when);
+  q.Cancel(id);  // must not corrupt bookkeeping
+  EXPECT_TRUE(q.Empty());
+  q.Push(2, [] {});
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.Cancel(9999);
+  q.Cancel(kInvalidEvent);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Push(5, [] {});
+  q.Push(10, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 10);
+}
+
+TEST(EventQueueTest, StressRandomOrderStaysSorted) {
+  EventQueue q;
+  Rng rng(71);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    SimTime t = static_cast<SimTime>(rng.NextBounded(100000));
+    ids.push_back(q.Push(t, [] {}));
+  }
+  // Cancel a random third.
+  for (size_t i = 0; i < ids.size(); i += 3) q.Cancel(ids[i]);
+  SimTime last = -1;
+  size_t popped = 0;
+  while (!q.Empty()) {
+    SimTime when;
+    q.Pop(&when);
+    EXPECT_GE(when, last);
+    last = when;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 5000u - (ids.size() + 2) / 3);
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "chord/messages.h"
+#include "flower/messages.h"
+#include "gossip/cyclon.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "squirrel/messages.h"
+#include "storage/content_store.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(MessageSizeTest, BaseHeaderIsNonZero) {
+  Message msg;
+  EXPECT_EQ(msg.SizeBytes(), Message::kHeaderBytes);
+}
+
+TEST(MessageSizeTest, PayloadGrowsWithContent) {
+  ChordNeighborsReplyMsg reply;
+  size_t empty = reply.SizeBytes();
+  reply.successors.resize(8);
+  EXPECT_EQ(reply.SizeBytes(), empty + 8 * 16);
+
+  FlowerPushMsg push;
+  size_t base = push.SizeBytes();
+  push.objects.resize(100);
+  EXPECT_EQ(push.SizeBytes(), base + 800);
+
+  GossipShuffleMsg shuffle;
+  size_t shuffle_base = shuffle.SizeBytes();
+  shuffle.contacts.resize(5);
+  EXPECT_EQ(shuffle.SizeBytes(), shuffle_base + 60);
+}
+
+TEST(MessageSizeTest, GossipCarriesSummaryWeight) {
+  ContentStore store;
+  for (uint32_t i = 0; i < 200; ++i) store.Insert({0, i});
+  FlowerGossipMsg small;
+  FlowerGossipMsg big;
+  big.summary = store.BuildSummary(0.02);
+  EXPECT_GT(big.SizeBytes(), small.SizeBytes() + 100);
+}
+
+TEST(MessageSizeTest, HandoffAccountsAllEntries) {
+  SquirrelHandoffMsg handoff;
+  SquirrelHandoffMsg::Entry entry;
+  entry.delegates = {1, 2, 3};
+  handoff.entries.push_back(entry);
+  handoff.entries.push_back(entry);
+  EXPECT_EQ(handoff.SizeBytes(),
+            Message::kHeaderBytes + 2 * (9 + 3 * 8));
+}
+
+struct SizedMsg : Message {
+  SizedMsg(MessageType t, size_t bytes) : bytes_(bytes) { type = t; }
+  size_t SizeBytes() const override { return bytes_; }
+  size_t bytes_;
+};
+
+class SinkNode : public SimNode {
+ public:
+  void HandleMessage(MessagePtr) override {}
+};
+
+TEST(NetworkTrafficTest, BytesAndCategoriesAreCounted) {
+  Simulator sim;
+  Topology topo{Topology::Params{}};
+  Network net(&sim, &topo);
+  Rng rng(1);
+  net.RegisterIdentity(1, topo.PlaceInLocality(0, rng));
+  net.RegisterIdentity(2, topo.PlaceInLocality(1, rng));
+  SinkNode a, b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+
+  net.Send(1, 2, std::make_unique<SizedMsg>(kChordMessageBase + 1, 100));
+  net.Send(1, 2, std::make_unique<SizedMsg>(kGossipMessageBase + 1, 200));
+  net.Send(1, 2, std::make_unique<SizedMsg>(kFlowerMessageBase + 1, 300));
+  net.Send(1, 2, std::make_unique<SizedMsg>(kSquirrelMessageBase, 400));
+  net.Send(1, 2, std::make_unique<SizedMsg>(900, 50));
+  sim.Run();
+
+  EXPECT_EQ(net.bytes_sent(), 1050u);
+  EXPECT_EQ(net.traffic().chord_messages, 1u);
+  EXPECT_EQ(net.traffic().gossip_messages, 1u);
+  EXPECT_EQ(net.traffic().flower_messages, 1u);
+  EXPECT_EQ(net.traffic().squirrel_messages, 1u);
+  EXPECT_EQ(net.traffic().other_messages, 1u);
+  EXPECT_EQ(net.messages_delivered(), 5u);
+}
+
+}  // namespace
+}  // namespace flowercdn

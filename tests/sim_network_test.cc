@@ -1,0 +1,217 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rpc.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+struct TestMsg : Message {
+  explicit TestMsg(int v = 0) : value(v) { type = 900; }
+  int value;
+};
+
+/// Records everything it receives.
+class RecorderNode : public SimNode {
+ public:
+  void HandleMessage(MessagePtr msg) override {
+    received.push_back(std::move(msg));
+  }
+  std::vector<MessagePtr> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topology_(Topology::Params{}), network_(&sim_, &topology_) {
+    Rng rng(1);
+    network_.RegisterIdentity(1, topology_.PlaceInLocality(0, rng));
+    network_.RegisterIdentity(2, topology_.PlaceInLocality(0, rng));
+    network_.RegisterIdentity(3, topology_.PlaceInLocality(3, rng));
+  }
+
+  Simulator sim_;
+  Topology topology_;
+  Network network_;
+  RecorderNode a_, b_, c_;
+};
+
+TEST_F(NetworkTest, DeliveryTakesTopologyLatency) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  double latency = network_.LatencyMs(1, 2);
+  ASSERT_GT(latency, 0);
+  network_.Send(1, 2, std::make_unique<TestMsg>(7));
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(static_cast<const TestMsg&>(*b_.received[0]).value, 7);
+  EXPECT_EQ(b_.received[0]->src, 1u);
+  EXPECT_EQ(b_.received[0]->dst, 2u);
+  EXPECT_EQ(sim_.now(), static_cast<SimTime>(latency));
+}
+
+TEST_F(NetworkTest, MessagesToDeadPeersAreDropped) {
+  network_.Attach(1, &a_);
+  network_.Send(1, 2, std::make_unique<TestMsg>());  // 2 never attached
+  sim_.Run();
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, MessageInFlightWhenReceiverDiesIsDropped) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  network_.Send(1, 2, std::make_unique<TestMsg>());
+  network_.Detach(2);  // dies before delivery
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_GE(network_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, RequestToDeadPeerBouncesTransportNack) {
+  network_.Attach(1, &a_);
+  auto msg = std::make_unique<TestMsg>();
+  msg->rpc_id = 77;  // request semantics
+  network_.Send(1, 2, std::move(msg));
+  sim_.Run();
+  ASSERT_EQ(a_.received.size(), 1u);
+  EXPECT_EQ(a_.received[0]->type, kTransportNack);
+  EXPECT_EQ(a_.received[0]->rpc_id, 77u);
+}
+
+TEST_F(NetworkTest, OneWayMessagesAreNotNacked) {
+  network_.Attach(1, &a_);
+  network_.Send(1, 2, std::make_unique<TestMsg>());  // rpc_id == 0
+  sim_.Run();
+  EXPECT_TRUE(a_.received.empty());
+}
+
+TEST_F(NetworkTest, AttachIncrementsIncarnation) {
+  Incarnation i1 = network_.Attach(1, &a_);
+  network_.Detach(1);
+  Incarnation i2 = network_.Attach(1, &b_);
+  EXPECT_EQ(i2, i1 + 1);
+  EXPECT_TRUE(network_.IsAlive(1));
+  EXPECT_EQ(network_.alive_count(), 1u);
+}
+
+TEST_F(NetworkTest, SchedulePeerSuppressedAfterDeath) {
+  Incarnation inc = network_.Attach(1, &a_);
+  bool fired = false;
+  network_.SchedulePeer(1, inc, 100, [&] { fired = true; });
+  network_.Detach(1);
+  sim_.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(NetworkTest, SchedulePeerSuppressedForOldIncarnation) {
+  Incarnation inc = network_.Attach(1, &a_);
+  bool fired = false;
+  network_.SchedulePeer(1, inc, 100, [&] { fired = true; });
+  network_.Detach(1);
+  network_.Attach(1, &b_);  // new incarnation
+  sim_.Run();
+  EXPECT_FALSE(fired) << "timer of the old session fired into the new one";
+}
+
+TEST_F(NetworkTest, SchedulePeerFiresForCurrentIncarnation) {
+  Incarnation inc = network_.Attach(1, &a_);
+  bool fired = false;
+  network_.SchedulePeer(1, inc, 100, [&] { fired = true; });
+  sim_.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(NetworkTest, LocalityExposedPerIdentity) {
+  EXPECT_EQ(network_.LocalityOf(1), 0);
+  EXPECT_EQ(network_.LocalityOf(3), 3);
+  EXPECT_EQ(network_.LatencyMs(1, 1), 0.0);
+}
+
+// --- RPC endpoint ------------------------------------------------------------
+
+class EchoNode : public SimNode {
+ public:
+  EchoNode(Network* network, PeerId self) : rpc_(network, self) {}
+  void Start(Network* network) { rpc_.Bind(network->Attach(self(), this)); }
+  PeerId self() const { return rpc_.self(); }
+
+  void HandleMessage(MessagePtr msg) override {
+    if (msg->is_response) {
+      rpc_.HandleResponse(msg);
+      return;
+    }
+    auto reply = std::make_unique<TestMsg>(
+        static_cast<const TestMsg&>(*msg).value + 1);
+    rpc_.Respond(*msg, std::move(reply));
+  }
+
+  RpcEndpoint& rpc() { return rpc_; }
+
+ private:
+  RpcEndpoint rpc_;
+};
+
+TEST_F(NetworkTest, RpcRoundTrip) {
+  EchoNode x(&network_, 1), y(&network_, 2);
+  x.Start(&network_);
+  y.Start(&network_);
+  int answer = 0;
+  x.rpc().Call(2, std::make_unique<TestMsg>(41), 5 * kSecond,
+               [&](const Status& status, MessagePtr resp) {
+                 ASSERT_TRUE(status.ok());
+                 answer = static_cast<const TestMsg&>(*resp).value;
+               });
+  sim_.Run();
+  EXPECT_EQ(answer, 42);
+  EXPECT_EQ(x.rpc().pending_calls(), 0u);
+}
+
+TEST_F(NetworkTest, RpcTimesOutWhenPeerSilent) {
+  EchoNode x(&network_, 1);
+  x.Start(&network_);
+  network_.Attach(2, &b_);  // attached but RecorderNode never responds
+  Status result;
+  x.rpc().Call(2, std::make_unique<TestMsg>(), 500,
+               [&](const Status& status, MessagePtr) { result = status; });
+  sim_.Run();
+  EXPECT_TRUE(result.IsTimedOut());
+}
+
+TEST_F(NetworkTest, RpcFailsFastViaNackForDeadPeer) {
+  EchoNode x(&network_, 1);
+  x.Start(&network_);
+  Status result;
+  SimTime completion = 0;
+  x.rpc().Call(2, std::make_unique<TestMsg>(), 60 * kSecond,
+               [&](const Status& status, MessagePtr) {
+                 result = status;
+                 completion = sim_.now();
+               });
+  sim_.Run();
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_LT(completion, kSecond) << "NACK should beat the timeout";
+}
+
+TEST_F(NetworkTest, LateResponseAfterTimeoutIsIgnored) {
+  EchoNode x(&network_, 1), y(&network_, 2);
+  x.Start(&network_);
+  y.Start(&network_);
+  int calls = 0;
+  // Timeout far below one-way latency: the response arrives late.
+  x.rpc().Call(2, std::make_unique<TestMsg>(1), 1,
+               [&](const Status& status, MessagePtr) {
+                 ++calls;
+                 EXPECT_TRUE(status.IsTimedOut());
+               });
+  sim_.Run();
+  EXPECT_EQ(calls, 1) << "handler must run exactly once";
+}
+
+}  // namespace
+}  // namespace flowercdn

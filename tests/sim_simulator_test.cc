@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flowercdn {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.Schedule(150, [&] { observed = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(observed, 150);
+  EXPECT_EQ(sim.now(), 150);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);  // clock advances even with no event at 25
+  sim.RunUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) sim.Schedule(10, chain);
+  };
+  sim.Schedule(10, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulatorTest, StepProcessesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "expt/env.h"
+#include "expt/squirrel_system.h"
+
+namespace flowercdn {
+namespace {
+
+ExperimentConfig HomeStoreConfig() {
+  ExperimentConfig config;
+  config.seed = 77;
+  config.target_population = 60;
+  config.universe_factor = 1.0;
+  config.catalog.num_websites = 2;
+  config.catalog.num_active = 2;
+  config.catalog.objects_per_website = 50;
+  config.mean_uptime = 100000 * kHour;
+  config.arrival_rate_override_per_ms = 60.0 / kHour;
+  config.duration = 8 * kHour;
+  config.squirrel.mode = SquirrelMode::kHomeStore;
+  return config;
+}
+
+TEST(SquirrelHomeStoreTest, ModeNamesAreStable) {
+  EXPECT_STREQ(SquirrelModeName(SquirrelMode::kDirectory), "directory");
+  EXPECT_STREQ(SquirrelModeName(SquirrelMode::kHomeStore), "home-store");
+}
+
+TEST(SquirrelHomeStoreTest, HomeReplicasDriveHits) {
+  ExperimentConfig config = HomeStoreConfig();
+  ExperimentEnv env(config);
+  SquirrelSystem system(&env, config.squirrel);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+  const MetricsCollector& metrics = env.metrics();
+  EXPECT_GT(metrics.total_queries(), 300u);
+  EXPECT_GT(metrics.HitRatio(), 0.4)
+      << "home-store replication is not serving hits";
+  // Replicas actually accumulated at home nodes.
+  size_t total_replicas = 0;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    SquirrelPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr) total_replicas += s->home_store_size();
+  }
+  EXPECT_GT(total_replicas, 50u);
+}
+
+TEST(SquirrelHomeStoreTest, DirectoryModeKeepsNoReplicas) {
+  ExperimentConfig config = HomeStoreConfig();
+  config.squirrel.mode = SquirrelMode::kDirectory;
+  ExperimentEnv env(config);
+  SquirrelSystem system(&env, config.squirrel);
+  system.Setup();
+  env.sim().RunUntil(4 * kHour);
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    SquirrelPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr) {
+      EXPECT_EQ(s->home_store_size(), 0u);
+    }
+  }
+}
+
+TEST(SquirrelHomeStoreTest, ReplicasDieWithTheirHome) {
+  ExperimentConfig config = HomeStoreConfig();
+  ExperimentEnv env(config);
+  SquirrelSystem system(&env, config.squirrel);
+  system.Setup();
+  env.sim().RunUntil(3 * kHour);
+
+  PeerId victim = kInvalidPeer;
+  size_t best = 0;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    SquirrelPeer* s = system.session(static_cast<PeerId>(i));
+    if (s != nullptr && s->home_store_size() > best) {
+      best = s->home_store_size();
+      victim = static_cast<PeerId>(i);
+    }
+  }
+  ASSERT_NE(victim, kInvalidPeer);
+  ASSERT_GT(best, 0u);
+  system.InjectFailure(victim);
+  // The replicas are session state — gone. The system keeps going and
+  // rebuilds them through subsequent misses.
+  uint64_t hits_before = env.metrics().hits();
+  env.sim().RunUntil(env.sim().now() + 2 * kHour);
+  EXPECT_GT(env.metrics().hits(), hits_before);
+}
+
+}  // namespace
+}  // namespace flowercdn

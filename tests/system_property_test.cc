@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+
+namespace flowercdn {
+namespace {
+
+/// Deep structural invariants of a live Flower-CDN deployment, checked on
+/// the final state of short churn-heavy runs across seeds.
+class FlowerInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowerInvariantTest, FinalStateIsStructurallySound) {
+  ExperimentConfig config;
+  config.seed = GetParam();
+  config.target_population = 250;
+  config.duration = 4 * kHour;
+  config.catalog.num_websites = 10;
+  config.catalog.num_active = 3;
+  config.catalog.objects_per_website = 100;
+
+  ExperimentEnv env(config);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  size_t directories = 0, content_peers = 0, clients = 0;
+  for (size_t i = 1; i <= env.universe_size(); ++i) {
+    PeerId peer = static_cast<PeerId>(i);
+    FlowerPeer* s = system.session(peer);
+    if (s == nullptr) {
+      EXPECT_FALSE(env.network().IsAlive(peer))
+          << "network thinks a dead session is alive";
+      continue;
+    }
+    EXPECT_TRUE(env.network().IsAlive(peer))
+        << "session exists but network says dead";
+    // Role-dependent invariants.
+    switch (s->role()) {
+      case FlowerRole::kDirectoryPeer: {
+        ++directories;
+        ASSERT_NE(s->chord(), nullptr);
+        EXPECT_TRUE(s->chord()->active())
+            << "directory peer not on the D-ring";
+        // Its ring id matches its deterministic position.
+        EXPECT_EQ(s->chord()->id(),
+                  system.keyspace().IdOf(s->website(), s->locality(),
+                                         s->instance()));
+        // dir-info points at itself.
+        EXPECT_EQ(s->dir_info().dir, s->self());
+        // Every peer in its index is also view-known or at least once
+        // pushed; index must never contain the directory itself.
+        EXPECT_FALSE(s->index().ContainsPeer(s->self()));
+        break;
+      }
+      case FlowerRole::kContentPeer: {
+        ++content_peers;
+        // A content peer never believes it is its own directory.
+        EXPECT_NE(s->dir_info().dir, s->self());
+        // Its view never contains itself.
+        EXPECT_FALSE(s->view().Contains(s->self()));
+        break;
+      }
+      case FlowerRole::kClient:
+        ++clients;
+        break;
+    }
+    // Universal: identity attributes are stable.
+    EXPECT_EQ(s->website(), env.identity(peer).website);
+    EXPECT_EQ(s->locality(), env.identity(peer).locality);
+  }
+  // A live deployment has all three roles present after warmup.
+  EXPECT_GT(directories, 10u);
+  EXPECT_GT(content_peers, 20u);
+  // Metrics conservation.
+  EXPECT_LE(env.metrics().hits(), env.metrics().total_queries());
+  // The bootstrap registry only lists live directory peers.
+  for (PeerId peer : system.live_directories()) {
+    FlowerPeer* s = system.session(peer);
+    ASSERT_NE(s, nullptr) << "registry lists a dead peer";
+    EXPECT_EQ(s->role(), FlowerRole::kDirectoryPeer)
+        << "registry lists a non-directory";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowerInvariantTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace flowercdn

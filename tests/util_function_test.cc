@@ -1,0 +1,91 @@
+#include "util/function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace flowercdn {
+namespace {
+
+TEST(MoveOnlyFnTest, EmptyIsFalse) {
+  MoveOnlyFn<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(MoveOnlyFnTest, InvokesSmallLambda) {
+  int x = 0;
+  MoveOnlyFn<void()> fn = [&x] { x = 42; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(MoveOnlyFnTest, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(7);
+  MoveOnlyFn<int()> fn = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(MoveOnlyFnTest, MoveTransfersOwnership) {
+  int calls = 0;
+  MoveOnlyFn<void()> a = [&calls] { ++calls; };
+  MoveOnlyFn<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MoveOnlyFnTest, MoveAssignReplacesTarget) {
+  int a_calls = 0, b_calls = 0;
+  MoveOnlyFn<void()> a = [&a_calls] { ++a_calls; };
+  MoveOnlyFn<void()> b = [&b_calls] { ++b_calls; };
+  b = std::move(a);
+  b();
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 0);
+}
+
+TEST(MoveOnlyFnTest, LargeCaptureGoesToHeapAndWorks) {
+  struct Big {
+    char data[256];
+  };
+  Big big{};
+  big.data[0] = 'x';
+  MoveOnlyFn<char()> fn = [big] { return big.data[0]; };
+  EXPECT_EQ(fn(), 'x');
+  MoveOnlyFn<char()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 'x');
+}
+
+TEST(MoveOnlyFnTest, DestructorReleasesCapture) {
+  auto tracker = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracker;
+  {
+    MoveOnlyFn<void()> fn = [tracker = std::move(tracker)] { (void)tracker; };
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(MoveOnlyFnTest, ArgumentsAndReturnValues) {
+  MoveOnlyFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  MoveOnlyFn<std::string(std::string)> echo =
+      [](std::string s) { return s + "!"; };
+  EXPECT_EQ(echo("hi"), "hi!");
+}
+
+TEST(MoveOnlyFnTest, SelfMoveAssignIsSafe) {
+  int calls = 0;
+  MoveOnlyFn<void()> fn = [&calls] { ++calls; };
+  MoveOnlyFn<void()>& ref = fn;
+  fn = std::move(ref);
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(10, 5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.CdfAt(100), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h(10, 10);
+  for (double v : {5.0, 15.0, 25.0, 35.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 35.0);
+}
+
+TEST(HistogramTest, CdfAtBucketEdgesIsExact) {
+  Histogram h(10, 10);
+  // 4 samples in buckets 0,1,2,3.
+  for (double v : {5.0, 15.0, 25.0, 35.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.CdfAt(10), 0.25);
+  EXPECT_DOUBLE_EQ(h.CdfAt(20), 0.50);
+  EXPECT_DOUBLE_EQ(h.CdfAt(30), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(40), 1.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesLargeValues) {
+  Histogram h(10, 5);  // covers [0, 50)
+  h.Add(1000);
+  h.Add(5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);  // overflow slot
+  EXPECT_DOUBLE_EQ(h.CdfAt(50), 0.5);
+  EXPECT_DOUBLE_EQ(h.CdfAt(2000), 1.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToFirstBucket) {
+  Histogram h(10, 5);
+  h.Add(-3);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), -3.0);
+}
+
+TEST(HistogramTest, QuantilesBracketTheData) {
+  Histogram h(1, 1000);
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.UniformDouble(0, 500));
+  // Uniform [0,500): quantiles should be ~q*500.
+  EXPECT_NEAR(h.Quantile(0.5), 250, 15);
+  EXPECT_NEAR(h.Quantile(0.9), 450, 15);
+  EXPECT_NEAR(h.Quantile(0.1), 50, 15);
+}
+
+TEST(HistogramTest, CdfIsMonotone) {
+  Histogram h(5, 50);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.Exponential(40));
+  auto cdf = h.Cdf();
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].cumulative_fraction, cdf[i - 1].cumulative_fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_fraction, 1.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h(10, 5);
+  h.Add(12);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(RunningStatTest, MatchesClosedForm) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace flowercdn

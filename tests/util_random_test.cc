@@ -1,0 +1,157 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace flowercdn {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsIndependentOfDrawCount) {
+  Rng a(7);
+  Rng b(7);
+  // Drawing from one generator must not perturb its forks.
+  for (int i = 0; i < 50; ++i) a.Next();
+  Rng fa = a.Fork("workload");
+  Rng fb = b.Fork("workload");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+}
+
+TEST(RngTest, ForksWithDifferentTagsDiffer) {
+  Rng a(7);
+  Rng f1 = a.Fork("x");
+  Rng f2 = a.Fork("y");
+  EXPECT_NE(f1.Next(), f2.Next());
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(5);
+  const uint64_t kBuckets = 10;
+  const int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const double kMean = 60.0;
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(kMean);
+  EXPECT_NEAR(sum / kDraws, kMean, kMean * 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// --- Zipf property sweep across alphas ---------------------------------------
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(500, GetParam());
+  double sum = 0;
+  for (size_t r = 0; r < zipf.n(); ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfTest, PmfIsMonotoneNonIncreasing) {
+  ZipfDistribution zipf(200, GetParam());
+  for (size_t r = 1; r < zipf.n(); ++r) {
+    EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1) + 1e-12) << "rank " << r;
+  }
+}
+
+TEST_P(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  const double alpha = GetParam();
+  ZipfDistribution zipf(50, alpha);
+  Rng rng(23);
+  const int kDraws = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t r : {size_t{0}, size_t{1}, size_t{10}, size_t{49}}) {
+    double expected = zipf.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, std::max(5.0 * std::sqrt(expected), 30.0))
+        << "alpha " << alpha << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.5));
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  ZipfDistribution zipf(1, 0.8);
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace flowercdn

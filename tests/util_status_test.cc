@@ -1,0 +1,84 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing object");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing object");
+  EXPECT_EQ(s.ToString(), "not_found: missing object");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::TimedOut("x"), Status::TimedOut("x"));
+  EXPECT_FALSE(Status::TimedOut("x") == Status::TimedOut("y"));
+  EXPECT_FALSE(Status::TimedOut("x") == Status::Unavailable("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kTimedOut), "timed_out");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+}
+
+Status FailingOperation() { return Status::Internal("boom"); }
+
+Status Chained() {
+  FLOWERCDN_RETURN_NOT_OK(Status::OK());
+  FLOWERCDN_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = Chained();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  FLOWERCDN_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UseAssignOrReturn(-1, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace flowercdn

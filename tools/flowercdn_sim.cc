@@ -1,0 +1,189 @@
+// flowercdn_sim — command-line front end for the simulation library: run
+// any (system, configuration) deployment, print the paper's metrics, and
+// optionally export CSV series for plotting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "expt/experiment.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --system=flower|squirrel|squirrel-homestore   (default flower)\n"
+               "  --population=P        target population        (default 2000)\n"
+               "  --hours=N             simulated duration       (default 24)\n"
+               "  --seed=S              RNG seed                 (default 42)\n"
+               "  --websites=W          catalog size             (default 100)\n"
+               "  --active=A            query-generating sites   (default 6)\n"
+               "  --objects=K           objects per website      (default 500)\n"
+               "  --localities=L        landmark localities      (default 6)\n"
+               "  --uptime-min=M        mean session uptime      (default 60)\n"
+               "  --zipf=ALPHA          object popularity skew   (default 0.8)\n"
+               "  --no-churn            disable failures\n"
+               "  --no-retain-cache     clear browser caches on re-join\n"
+               "  --collab              enable directory collaboration (§3.2)\n"
+               "  --no-petalup          disable elastic directory instances\n"
+               "  --csv=PREFIX          write PREFIX.{timeseries,lookup,transfer}.csv\n"
+               "  --quiet               suppress progress output\n",
+               argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = atoll(arg + len + 1);
+  return true;
+}
+
+void WriteCsv(const std::string& prefix, const ExperimentResult& r) {
+  {
+    std::ofstream out(prefix + ".timeseries.csv");
+    out << "hour,queries,hits,window_ratio,cumulative_ratio\n";
+    auto cumulative = r.cumulative_hit_ratio;
+    for (size_t i = 0; i < r.time_series.size(); ++i) {
+      const auto& b = r.time_series[i];
+      out << (i + 1) << "," << b.queries << "," << b.hits << ","
+          << b.WindowRatio() << ","
+          << (i < cumulative.size() ? cumulative[i] : 0.0) << "\n";
+    }
+  }
+  {
+    std::ofstream out(prefix + ".lookup.csv");
+    out << "latency_ms_upper,cdf_all,cdf_hits\n";
+    auto all = r.lookup_all.Cdf();
+    auto hits = r.lookup_hits.Cdf();
+    for (size_t i = 0; i < all.size() && i < hits.size(); ++i) {
+      out << all[i].upper_edge << "," << all[i].cumulative_fraction << ","
+          << hits[i].cumulative_fraction << "\n";
+    }
+  }
+  {
+    std::ofstream out(prefix + ".transfer.csv");
+    out << "distance_ms_upper,cdf_all,cdf_hits\n";
+    auto all = r.transfer_all.Cdf();
+    auto hits = r.transfer_hits.Cdf();
+    for (size_t i = 0; i < all.size() && i < hits.size(); ++i) {
+      out << all[i].upper_edge << "," << all[i].cumulative_fraction << ","
+          << hits[i].cumulative_fraction << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  SystemKind kind = SystemKind::kFlowerCdn;
+  std::string csv_prefix;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long value = 0;
+    if (std::strncmp(arg, "--system=", 9) == 0) {
+      std::string system = arg + 9;
+      if (system == "flower") {
+        kind = SystemKind::kFlowerCdn;
+      } else if (system == "squirrel") {
+        kind = SystemKind::kSquirrel;
+      } else if (system == "squirrel-homestore") {
+        kind = SystemKind::kSquirrel;
+        config.squirrel.mode = SquirrelMode::kHomeStore;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (ParseFlag(arg, "--population", &value)) {
+      config.target_population = static_cast<size_t>(value);
+    } else if (ParseFlag(arg, "--hours", &value)) {
+      config.duration = value * kHour;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = static_cast<uint64_t>(value);
+    } else if (ParseFlag(arg, "--websites", &value)) {
+      config.catalog.num_websites = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--active", &value)) {
+      config.catalog.num_active = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--objects", &value)) {
+      config.catalog.objects_per_website = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--localities", &value)) {
+      config.topology.num_localities = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--uptime-min", &value)) {
+      config.mean_uptime = value * kMinute;
+    } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
+      config.catalog.zipf_alpha = atof(arg + 7);
+    } else if (std::strcmp(arg, "--no-churn") == 0) {
+      config.churn_enabled = false;
+    } else if (std::strcmp(arg, "--no-retain-cache") == 0) {
+      config.retain_cache_on_rejoin = false;
+    } else if (std::strcmp(arg, "--collab") == 0) {
+      config.flower.enable_dir_collaboration = true;
+    } else if (std::strcmp(arg, "--no-petalup") == 0) {
+      config.flower.petalup_enabled = false;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      csv_prefix = arg + 6;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::function<void(SimTime, SimTime)> progress;
+  if (!quiet) {
+    progress = [](SimTime now, SimTime total) {
+      std::fprintf(stderr, "simulated %lld/%lld h\r",
+                   static_cast<long long>(now / kHour),
+                   static_cast<long long>(total / kHour));
+      if (now >= total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  ExperimentResult r = RunExperiment(config, kind, progress);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"system", SystemKindName(kind)});
+  table.AddRow({"population target", std::to_string(config.target_population)});
+  table.AddRow({"final population", std::to_string(r.final_population)});
+  table.AddRow({"queries", std::to_string(r.total_queries)});
+  table.AddRow({"hit ratio", FormatDouble(r.hit_ratio, 3)});
+  table.AddRow({"mean lookup (ms)", FormatDouble(r.mean_lookup_ms, 1)});
+  table.AddRow({"mean lookup, hits (ms)",
+                FormatDouble(r.lookup_hits.Mean(), 1)});
+  table.AddRow({"mean transfer, hits (ms)",
+                FormatDouble(r.mean_transfer_hits_ms, 1)});
+  table.AddRow({"messages sent", std::to_string(r.messages_sent)});
+  table.AddRow({"traffic (MB)",
+                FormatDouble(static_cast<double>(r.bytes_sent) / 1048576.0,
+                             1)});
+  table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
+  table.AddRow({"churn failures", std::to_string(r.churn_failures)});
+  table.AddRow({"sim events", std::to_string(r.events_processed)});
+  if (kind == SystemKind::kFlowerCdn) {
+    table.AddRow({"directory failovers",
+                  std::to_string(r.flower_stats.dir_failures_detected)});
+    table.AddRow({"petalup promotions",
+                  std::to_string(r.flower_stats.promotions_triggered)});
+    table.AddRow({"live directories",
+                  std::to_string(r.flower_stats.live_directories)});
+  }
+  table.Print(std::cout);
+
+  if (!csv_prefix.empty()) {
+    WriteCsv(csv_prefix, r);
+    std::printf("\nCSV series written to %s.{timeseries,lookup,transfer}"
+                ".csv\n",
+                csv_prefix.c_str());
+  }
+  return 0;
+}
