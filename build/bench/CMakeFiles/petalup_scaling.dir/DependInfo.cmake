@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/petalup_scaling.cc" "bench/CMakeFiles/petalup_scaling.dir/petalup_scaling.cc.o" "gcc" "bench/CMakeFiles/petalup_scaling.dir/petalup_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/flowercdn_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/squirrel/CMakeFiles/flowercdn_squirrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/flower/CMakeFiles/flowercdn_flower.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/flowercdn_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/flowercdn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/flowercdn_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/flowercdn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flowercdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flowercdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
