@@ -5,6 +5,10 @@
 // Paper's claims: Squirrel leads during Flower-CDN's warm-up, then fails to
 // preserve an increasing hit ratio (directories die with their home nodes)
 // while Flower-CDN keeps improving — ~40% better after 24 hours.
+//
+// Both systems' trials go through the TrialRunner as one grid: with
+// --trials=N the curves carry 95% confidence intervals, and --jobs spreads
+// the runs over all cores.
 
 #include <cstdio>
 #include <iostream>
@@ -20,35 +24,52 @@ int main(int argc, char** argv) {
   ExperimentConfig config = args.MakeConfig();
 
   std::printf("=== Fig. 3: hit ratio over time (P=%zu, %lld h, churn m=60 "
-              "min) ===\n",
+              "min, %zu trial(s)) ===\n",
               config.target_population,
-              static_cast<long long>(config.duration / kHour));
+              static_cast<long long>(config.duration / kHour), args.trials);
 
-  ExperimentResult flower = RunExperiment(config, SystemKind::kFlowerCdn,
-                                          bench::PrintProgressDots);
-  ExperimentResult squirrel = RunExperiment(config, SystemKind::kSquirrel,
-                                            bench::PrintProgressDots);
+  std::vector<TrialJob> jobs;
+  bench::AddCell(&jobs, args, config, SystemKind::kFlowerCdn, "flower");
+  bench::AddCell(&jobs, args, config, SystemKind::kSquirrel, "squirrel");
+  std::vector<CellResult> cells = bench::RunGrid(args, jobs);
+  const AggregateResult& flower = cells[0].aggregate;
+  const AggregateResult& squirrel = cells[1].aggregate;
 
-  TablePrinter table({"hour", "flower_cdn_hit_ratio", "squirrel_hit_ratio"});
+  bool error_bars = args.trials > 1;
+  TablePrinter table(error_bars
+                         ? std::vector<std::string>{"hour",
+                                                    "flower_cdn_hit_ratio",
+                                                    "flower_ci95",
+                                                    "squirrel_hit_ratio",
+                                                    "squirrel_ci95"}
+                         : std::vector<std::string>{"hour",
+                                                    "flower_cdn_hit_ratio",
+                                                    "squirrel_hit_ratio"});
   size_t hours = std::max(flower.cumulative_hit_ratio.size(),
                           squirrel.cumulative_hit_ratio.size());
   for (size_t h = 0; h < hours; ++h) {
-    auto at = [&](const std::vector<double>& v) {
-      return h < v.size() ? FormatDouble(v[h], 3) : std::string("-");
+    auto at = [&](const std::vector<MetricSummary>& v, bool ci) {
+      if (h >= v.size()) return std::string("-");
+      return FormatDouble(ci ? v[h].ci95_half : v[h].mean, 3);
     };
-    table.AddRow({std::to_string(h + 1), at(flower.cumulative_hit_ratio),
-                  at(squirrel.cumulative_hit_ratio)});
+    std::vector<std::string> row{std::to_string(h + 1)};
+    row.push_back(at(flower.cumulative_hit_ratio, false));
+    if (error_bars) row.push_back(at(flower.cumulative_hit_ratio, true));
+    row.push_back(at(squirrel.cumulative_hit_ratio, false));
+    if (error_bars) row.push_back(at(squirrel.cumulative_hit_ratio, true));
+    table.AddRow(std::move(row));
   }
   table.Print(std::cout);
 
   std::printf("\nCSV:\n");
   table.PrintCsv(std::cout);
 
-  std::printf("\nFinal: Flower-CDN %.3f vs Squirrel %.3f  (absolute gain "
+  std::printf("\nFinal: Flower-CDN %s vs Squirrel %s  (absolute gain "
               "%.2f; paper reports ~+0.27 at P=3000)\n",
-              flower.hit_ratio, squirrel.hit_ratio,
-              flower.hit_ratio - squirrel.hit_ratio);
-  bench::PrintSummary(flower);
-  bench::PrintSummary(squirrel);
+              bench::PlusMinus(flower.hit_ratio, 3).c_str(),
+              bench::PlusMinus(squirrel.hit_ratio, 3).c_str(),
+              flower.hit_ratio.mean - squirrel.hit_ratio.mean);
+  bench::PrintSummary(cells[0]);
+  bench::PrintSummary(cells[1]);
   return 0;
 }

@@ -5,7 +5,8 @@
 //
 // Setup: a concentrated deployment (few websites/localities so petals grow
 // large) swept over directory load limits, plus a petalup-disabled control
-// showing unbounded directory load.
+// showing unbounded directory load. The four cases (x --trials) run as one
+// TrialRunner grid.
 
 #include <cstdio>
 #include <iostream>
@@ -34,35 +35,40 @@ int main(int argc, char** argv) {
       bench::BenchArgs::Parse(argc, argv, /*default_population=*/600);
   if (args.duration == 24 * kHour) args.duration = 12 * kHour;
 
-  std::printf("=== PetalUp-CDN: elastic directory scaling (P=%zu, %lld h) "
-              "===\n",
+  std::printf("=== PetalUp-CDN: elastic directory scaling (P=%zu, %lld h, "
+              "%zu trial(s)) ===\n",
               args.population,
-              static_cast<long long>(args.duration / kHour));
-
-  TablePrinter table({"load_limit", "petalup", "promotions", "max_instance",
-                      "max_dir_load", "mean_dir_load_final", "hit_ratio"});
+              static_cast<long long>(args.duration / kHour), args.trials);
 
   struct Case {
     size_t load_limit;
     bool petalup;
   };
-  for (Case c : {Case{30, false}, Case{30, true}, Case{15, true},
-                 Case{60, true}}) {
+  const std::vector<Case> cases{Case{30, false}, Case{30, true},
+                                Case{15, true}, Case{60, true}};
+
+  std::vector<TrialJob> jobs;
+  for (const Case& c : cases) {
     ExperimentConfig config = ConcentratedConfig(args);
     config.flower.max_directory_load = c.load_limit;
     config.flower.petalup_enabled = c.petalup;
-    std::fprintf(stderr, "running load_limit=%zu petalup=%d...\n",
-                 c.load_limit, c.petalup);
-    ExperimentResult r = RunExperiment(config, SystemKind::kFlowerCdn,
-                                       bench::PrintProgressDots);
-    double final_mean_load =
-        r.load_samples.empty() ? 0 : r.load_samples.back().mean_load;
-    table.AddRow({std::to_string(c.load_limit), c.petalup ? "on" : "off",
-                  std::to_string(r.flower_stats.promotions_triggered),
-                  std::to_string(r.flower_stats.max_observed_instance),
-                  std::to_string(r.flower_stats.max_observed_directory_load),
-                  FormatDouble(final_mean_load, 1),
-                  FormatDouble(r.hit_ratio, 2)});
+    bench::AddCell(&jobs, args, config, SystemKind::kFlowerCdn,
+                   "limit=" + std::to_string(c.load_limit) + "/petalup=" +
+                       (c.petalup ? "on" : "off"));
+  }
+  std::vector<CellResult> cells = bench::RunGrid(args, jobs);
+
+  TablePrinter table({"load_limit", "petalup", "promotions", "max_instance",
+                      "max_dir_load", "mean_dir_load_final", "hit_ratio"});
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const AggregateResult& a = cells[i].aggregate;
+    table.AddRow({std::to_string(cases[i].load_limit),
+                  cases[i].petalup ? "on" : "off",
+                  bench::PlusMinus(a.promotions_triggered, 0),
+                  bench::PlusMinus(a.max_instance, 0),
+                  bench::PlusMinus(a.max_directory_load, 0),
+                  bench::PlusMinus(a.final_mean_directory_load, 1),
+                  bench::PlusMinus(a.hit_ratio, 2)});
   }
 
   table.Print(std::cout);

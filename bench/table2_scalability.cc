@@ -6,6 +6,10 @@
 // lookup 167 -> 127 ms, transfer 120 -> 81 ms) while Squirrel stays slow
 // (lookup ~1.5 s, transfer ~165 ms); the lookup improvement factor reaches
 // ~12.6x and the transfer factor ~2x at P=5000.
+//
+// The whole (P x system x trial) grid is submitted to the TrialRunner at
+// once, so an 8-core box runs the table's eight configurations
+// concurrently; --trials=N adds 95% confidence intervals to every cell.
 
 #include <cstdio>
 #include <cstring>
@@ -27,8 +31,21 @@ int main(int argc, char** argv) {
   // to match the paper's full duration).
   if (args.duration == 24 * kHour) args.duration = 12 * kHour;
 
-  std::printf("=== Table 2: scalability sweep (%lld h, churn m=60 min) ===\n",
-              static_cast<long long>(args.duration / kHour));
+  std::printf("=== Table 2: scalability sweep (%lld h, churn m=60 min, %zu "
+              "trial(s)) ===\n",
+              static_cast<long long>(args.duration / kHour), args.trials);
+
+  std::vector<TrialJob> jobs;
+  for (size_t population : populations) {
+    ExperimentConfig config = args.MakeConfig();
+    config.target_population = population;
+    for (SystemKind kind : {SystemKind::kSquirrel, SystemKind::kFlowerCdn}) {
+      bench::AddCell(&jobs, args, config, kind,
+                     std::string(SystemKindName(kind)) +
+                         "/P=" + std::to_string(population));
+    }
+  }
+  std::vector<CellResult> cells = bench::RunGrid(args, jobs);
 
   TablePrinter table({"P", "approach", "hit_ratio", "lookup_ms",
                       "lookup_hits_ms", "transfer_ms"});
@@ -39,27 +56,24 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> factors;
 
-  for (size_t population : populations) {
-    ExperimentConfig config = args.MakeConfig();
-    config.target_population = population;
+  // Cells arrive in submission order: (squirrel, flower) per population.
+  for (size_t p = 0; p < populations.size(); ++p) {
     Row row;
-    row.population = population;
-    for (SystemKind kind : {SystemKind::kSquirrel, SystemKind::kFlowerCdn}) {
-      std::fprintf(stderr, "running %s P=%zu...\n", SystemKindName(kind),
-                   population);
-      ExperimentResult r =
-          RunExperiment(config, kind, bench::PrintProgressDots);
-      table.AddRow({std::to_string(population), SystemKindName(kind),
-                    FormatDouble(r.hit_ratio, 2),
-                    FormatDouble(r.mean_lookup_ms, 0),
-                    FormatDouble(r.lookup_hits.Mean(), 0),
-                    FormatDouble(r.mean_transfer_hits_ms, 0)});
-      if (kind == SystemKind::kFlowerCdn) {
-        row.flower_lookup = r.mean_lookup_ms;
-        row.flower_transfer = r.mean_transfer_hits_ms;
+    row.population = populations[p];
+    for (size_t s = 0; s < 2; ++s) {
+      const CellResult& cell = cells[2 * p + s];
+      const AggregateResult& a = cell.aggregate;
+      table.AddRow({std::to_string(row.population), SystemKindName(cell.kind),
+                    bench::PlusMinus(a.hit_ratio, 2),
+                    bench::PlusMinus(a.mean_lookup_ms, 0),
+                    bench::PlusMinus(a.mean_lookup_hits_ms, 0),
+                    bench::PlusMinus(a.mean_transfer_hits_ms, 0)});
+      if (cell.kind == SystemKind::kFlowerCdn) {
+        row.flower_lookup = a.mean_lookup_ms.mean;
+        row.flower_transfer = a.mean_transfer_hits_ms.mean;
       } else {
-        row.squirrel_lookup = r.mean_lookup_ms;
-        row.squirrel_transfer = r.mean_transfer_hits_ms;
+        row.squirrel_lookup = a.mean_lookup_ms.mean;
+        row.squirrel_transfer = a.mean_transfer_hits_ms.mean;
       }
     }
     factors.push_back(row);

@@ -1,12 +1,24 @@
 #!/usr/bin/env python3
-"""Plot the CSV series written by `flowercdn-sim --csv=PREFIX`.
+"""Plot flowercdn experiment results: CSV series written by
+`flowercdn-sim --csv=PREFIX`, or runner JSON written by
+`flowercdn-sim --json-out=FILE` (multi-trial sweeps, with error bars).
 
 Usage:
+    # Single runs, CSV series:
     tools/flowercdn-sim --system=flower   --csv=flower   [options]
     tools/flowercdn-sim --system=squirrel --csv=squirrel [options]
     scripts/plot_results.py flower squirrel -o plots/
 
-Produces the paper's three figures from any number of labeled runs:
+    # Multi-trial sweep, one JSON document, 95% CI bands:
+    tools/flowercdn-sim --sweep='system=flower,squirrel;trials=8' \\
+        --jobs=8 --json-out=sweep.json
+    scripts/plot_results.py sweep.json -o plots/
+
+Arguments ending in .json are runner documents (every cell inside becomes
+one labeled curve, error-barred when it aggregates >1 trial); anything else
+is treated as a CSV prefix. Both kinds can be mixed in one invocation.
+
+Produces the paper's three figures:
   fig3_hit_ratio.png          cumulative hit ratio per hour
   fig4_lookup_latency.png     lookup latency CDF (all queries)
   fig5_transfer_distance.png  transfer distance CDF (hits)
@@ -14,6 +26,7 @@ Produces the paper's three figures from any number of labeled runs:
 
 import argparse
 import csv
+import json
 import os
 import sys
 
@@ -24,19 +37,74 @@ def read_csv(path):
     return rows
 
 
-def load_run(prefix):
+def load_csv_run(prefix):
+    """One curve per CSV prefix (a single trial, no error bars)."""
+    ts = read_csv(prefix + ".timeseries.csv")
+    lookup = read_csv(prefix + ".lookup.csv")
+    transfer = read_csv(prefix + ".transfer.csv")
     return {
         "label": os.path.basename(prefix),
-        "timeseries": read_csv(prefix + ".timeseries.csv"),
-        "lookup": read_csv(prefix + ".lookup.csv"),
-        "transfer": read_csv(prefix + ".transfer.csv"),
+        "hours": [int(r["hour"]) for r in ts],
+        "hit_ratio": [float(r["cumulative_ratio"]) for r in ts],
+        "hit_ratio_ci": None,
+        "lookup_edges": [float(r["latency_ms_upper"]) for r in lookup],
+        "lookup_cdf": [float(r["cdf_all"]) for r in lookup],
+        "transfer_edges": [float(r["distance_ms_upper"]) for r in transfer],
+        "transfer_cdf": [float(r["cdf_hits"]) for r in transfer],
     }
 
 
+def histogram_cdf(hist):
+    """Upper-edge CDF points from a runner JSON histogram (pooled counts;
+    the trailing slot is the overflow bucket)."""
+    counts = hist["counts"]
+    total = hist["count"]
+    width = hist["bucket_width"]
+    edges, cdf, cum = [], [], 0
+    if total == 0:
+        return edges, cdf
+    for i, c in enumerate(counts):
+        cum += c
+        edges.append(width * (i + 1))
+        cdf.append(cum / total)
+    return edges, cdf
+
+
+def load_json_runs(path):
+    """One curve per sweep cell, with 95% CI where trials > 1."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("flowercdn-runner/"):
+        sys.exit(f"{path}: not a flowercdn runner document (schema={schema!r})")
+    runs = []
+    for cell in doc["cells"]:
+        agg = cell["aggregate"]
+        series = agg["cumulative_hit_ratio"]
+        lookup_edges, lookup_cdf = histogram_cdf(agg["histograms"]["lookup_all"])
+        transfer_edges, transfer_cdf = histogram_cdf(
+            agg["histograms"]["transfer_hits"])
+        runs.append({
+            "label": cell["label"],
+            "hours": [h + 1 for h in range(len(series))],
+            "hit_ratio": [p["mean"] for p in series],
+            "hit_ratio_ci": [p["ci95"] for p in series]
+            if agg["trials"] > 1 else None,
+            "lookup_edges": lookup_edges,
+            "lookup_cdf": lookup_cdf,
+            "transfer_edges": transfer_edges,
+            "transfer_cdf": transfer_cdf,
+        })
+    return runs
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("prefixes", nargs="+",
-                        help="CSV prefixes written by flowercdn-sim --csv=")
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("inputs", nargs="+",
+                        help="CSV prefixes (flowercdn-sim --csv=) and/or "
+                             "runner JSON files (--json-out=)")
     parser.add_argument("-o", "--outdir", default=".")
     args = parser.parse_args()
 
@@ -47,15 +115,27 @@ def main():
     except ImportError:
         sys.exit("matplotlib is required: pip install matplotlib")
 
-    runs = [load_run(p) for p in args.prefixes]
+    runs = []
+    for item in args.inputs:
+        if item.endswith(".json"):
+            runs.extend(load_json_runs(item))
+        else:
+            runs.append(load_csv_run(item))
     os.makedirs(args.outdir, exist_ok=True)
 
-    # Fig. 3: cumulative hit ratio over time.
+    # Fig. 3: cumulative hit ratio over time (shaded 95% CI band when the
+    # run aggregates multiple trials).
     fig, ax = plt.subplots(figsize=(6, 4))
     for run in runs:
-        hours = [int(r["hour"]) for r in run["timeseries"]]
-        ratio = [float(r["cumulative_ratio"]) for r in run["timeseries"]]
-        ax.plot(hours, ratio, marker="o", markersize=3, label=run["label"])
+        line, = ax.plot(run["hours"], run["hit_ratio"], marker="o",
+                        markersize=3, label=run["label"])
+        if run["hit_ratio_ci"]:
+            lo = [m - c for m, c in zip(run["hit_ratio"],
+                                        run["hit_ratio_ci"])]
+            hi = [m + c for m, c in zip(run["hit_ratio"],
+                                        run["hit_ratio_ci"])]
+            ax.fill_between(run["hours"], lo, hi, alpha=0.2,
+                            color=line.get_color(), linewidth=0)
     ax.set_xlabel("simulated hours")
     ax.set_ylabel("cumulative hit ratio")
     ax.set_ylim(0, 1)
@@ -64,12 +144,11 @@ def main():
     fig.tight_layout()
     fig.savefig(os.path.join(args.outdir, "fig3_hit_ratio.png"), dpi=150)
 
-    # Fig. 4: lookup latency CDF (all queries).
+    # Fig. 4: lookup latency CDF (all queries; pooled across trials for
+    # JSON runs).
     fig, ax = plt.subplots(figsize=(6, 4))
     for run in runs:
-        edges = [float(r["latency_ms_upper"]) for r in run["lookup"]]
-        cdf = [float(r["cdf_all"]) for r in run["lookup"]]
-        ax.plot(edges, cdf, label=run["label"])
+        ax.plot(run["lookup_edges"], run["lookup_cdf"], label=run["label"])
     ax.set_xlabel("lookup latency (ms)")
     ax.set_ylabel("fraction of queries")
     ax.set_ylim(0, 1)
@@ -81,9 +160,8 @@ def main():
     # Fig. 5: transfer distance CDF (hits).
     fig, ax = plt.subplots(figsize=(6, 4))
     for run in runs:
-        edges = [float(r["distance_ms_upper"]) for r in run["transfer"]]
-        cdf = [float(r["cdf_hits"]) for r in run["transfer"]]
-        ax.plot(edges, cdf, label=run["label"])
+        ax.plot(run["transfer_edges"], run["transfer_cdf"],
+                label=run["label"])
     ax.set_xlabel("transfer distance (ms)")
     ax.set_ylabel("fraction of served queries")
     ax.set_ylim(0, 1)

@@ -1,0 +1,293 @@
+#include "runner/json_export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runner/seed.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) os_ << ',';
+    ++counts_.back();
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  os_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  counts_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  os_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  counts_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Separate();
+  EmitString(key);
+  after_key_ = true;
+  os_ << ':';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  Separate();
+  EmitString(s);
+  return *this;
+}
+
+void JsonWriter::EmitString(std::string_view s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; the simulation never produces them, but keep
+    // the document well-formed if a metric ever does.
+    os_ << "null";
+    return *this;
+  }
+  // Shortest decimal that round-trips to exactly this double — the same
+  // bytes for the same value, on every run.
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  FLOWERCDN_CHECK(ec == std::errc());
+  os_.write(buf, end - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+namespace {
+
+void WriteSummary(JsonWriter& w, const MetricSummary& s) {
+  w.BeginObject();
+  w.Key("n").Value(s.n);
+  w.Key("mean").Value(s.mean);
+  w.Key("stddev").Value(s.stddev);
+  w.Key("ci95").Value(s.ci95_half);
+  w.Key("min").Value(s.min);
+  w.Key("max").Value(s.max);
+  w.EndObject();
+}
+
+void WriteHistogram(JsonWriter& w, const Histogram& h) {
+  w.BeginObject();
+  w.Key("bucket_width").Value(h.bucket_width());
+  w.Key("count").Value(static_cast<uint64_t>(h.count()));
+  w.Key("mean").Value(h.Mean());
+  w.Key("p50").Value(h.Quantile(0.5));
+  w.Key("p95").Value(h.Quantile(0.95));
+  // counts[i] covers [i*w, (i+1)*w); the trailing slot is the overflow.
+  w.Key("counts").BeginArray();
+  for (size_t b = 0; b < h.num_buckets(); ++b) {
+    w.Value(static_cast<uint64_t>(h.bucket_count(b)));
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
+                size_t trial) {
+  w.BeginObject();
+  w.Key("trial").Value(trial);
+  w.Key("seed").Value(seed);
+  w.Key("hit_ratio").Value(r.hit_ratio);
+  w.Key("mean_lookup_ms").Value(r.mean_lookup_ms);
+  w.Key("mean_lookup_hits_ms").Value(r.lookup_hits.Mean());
+  w.Key("mean_transfer_hits_ms").Value(r.mean_transfer_hits_ms);
+  w.Key("mean_transfer_all_ms").Value(r.mean_transfer_all_ms);
+  w.Key("total_queries").Value(r.total_queries);
+  w.Key("hits").Value(r.hits);
+  w.Key("messages_sent").Value(r.messages_sent);
+  w.Key("bytes_sent").Value(r.bytes_sent);
+  w.Key("churn_arrivals").Value(r.churn_arrivals);
+  w.Key("churn_failures").Value(r.churn_failures);
+  w.Key("final_population").Value(static_cast<uint64_t>(r.final_population));
+  w.Key("events_processed").Value(r.events_processed);
+  w.Key("cumulative_hit_ratio").BeginArray();
+  for (double v : r.cumulative_hit_ratio) w.Value(v);
+  w.EndArray();
+  w.EndObject();
+}
+
+void WriteAggregate(JsonWriter& w, const AggregateResult& a) {
+  w.BeginObject();
+  w.Key("trials").Value(a.trials);
+  w.Key("metrics").BeginObject();
+  struct Named {
+    const char* name;
+    const MetricSummary& summary;
+  };
+  const Named metrics[] = {
+      {"hit_ratio", a.hit_ratio},
+      {"mean_lookup_ms", a.mean_lookup_ms},
+      {"mean_lookup_hits_ms", a.mean_lookup_hits_ms},
+      {"mean_transfer_hits_ms", a.mean_transfer_hits_ms},
+      {"mean_transfer_all_ms", a.mean_transfer_all_ms},
+      {"total_queries", a.total_queries},
+      {"new_client_lookup_ms", a.new_client_lookup_ms},
+      {"established_lookup_ms", a.established_lookup_ms},
+      {"messages_sent", a.messages_sent},
+      {"bytes_sent", a.bytes_sent},
+      {"churn_arrivals", a.churn_arrivals},
+      {"churn_failures", a.churn_failures},
+      {"final_population", a.final_population},
+      {"events_processed", a.events_processed},
+      {"dir_failures_detected", a.dir_failures_detected},
+      {"promotions_triggered", a.promotions_triggered},
+      {"live_directories", a.live_directories},
+      {"max_directory_load", a.max_directory_load},
+      {"max_instance", a.max_instance},
+      {"final_mean_directory_load", a.final_mean_directory_load},
+  };
+  for (const Named& m : metrics) {
+    w.Key(m.name);
+    WriteSummary(w, m.summary);
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  w.Key("lookup_all");
+  WriteHistogram(w, a.lookup_all);
+  w.Key("lookup_hits");
+  WriteHistogram(w, a.lookup_hits);
+  w.Key("transfer_all");
+  WriteHistogram(w, a.transfer_all);
+  w.Key("transfer_hits");
+  WriteHistogram(w, a.transfer_hits);
+  w.EndObject();
+
+  // Entry h summarizes the cumulative hit ratio at the end of hour h+1.
+  w.Key("cumulative_hit_ratio").BeginArray();
+  for (const MetricSummary& s : a.cumulative_hit_ratio) WriteSummary(w, s);
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteSweepJson(std::ostream& os, uint64_t base_seed,
+                    const std::vector<CellResult>& cells,
+                    bool include_trials) {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema").Value("flowercdn-runner/v1");
+  w.Key("base_seed").Value(base_seed);
+  w.Key("cells").BeginArray();
+  for (const CellResult& cell : cells) {
+    w.BeginObject();
+    w.Key("label").Value(cell.label);
+    w.Key("system").Value(SystemKindName(cell.kind));
+    w.Key("population").Value(
+        static_cast<uint64_t>(cell.config.target_population));
+    w.Key("hours").Value(static_cast<uint64_t>(cell.config.duration / kHour));
+    w.Key("zipf_alpha").Value(cell.config.catalog.zipf_alpha);
+    w.Key("mean_uptime_min").Value(
+        static_cast<uint64_t>(cell.config.mean_uptime / kMinute));
+    w.Key("churn").Value(cell.config.churn_enabled);
+    w.Key("aggregate");
+    WriteAggregate(w, cell.aggregate);
+    if (include_trials) {
+      w.Key("trial_results").BeginArray();
+      for (size_t t = 0; t < cell.trials.size(); ++t) {
+        // Re-derive rather than store: the seed is a pure function of
+        // (base_seed, trial), which also documents the derivation in the
+        // output.
+        WriteTrial(w, cell.trials[t], DeriveTrialSeed(base_seed, t), t);
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+std::string SweepJsonString(uint64_t base_seed,
+                            const std::vector<CellResult>& cells,
+                            bool include_trials) {
+  std::ostringstream os;
+  WriteSweepJson(os, base_seed, cells, include_trials);
+  return os.str();
+}
+
+Status WriteSweepJsonFile(const std::string& path, uint64_t base_seed,
+                          const std::vector<CellResult>& cells,
+                          bool include_trials) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path);
+  }
+  WriteSweepJson(out, base_seed, cells, include_trials);
+  out.flush();
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace flowercdn

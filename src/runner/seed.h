@@ -1,0 +1,30 @@
+#ifndef FLOWERCDN_RUNNER_SEED_H_
+#define FLOWERCDN_RUNNER_SEED_H_
+
+#include <cstdint>
+
+namespace flowercdn {
+
+/// One step of the SplitMix64 output function (Steele et al.). Pure: equal
+/// inputs always yield equal outputs, on every platform.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-trial seed: a function of (base_seed, trial_index)
+/// only — never of thread count, scheduling order, or wall-clock — so a
+/// multi-trial run is bit-identical at any --jobs value. Two SplitMix64
+/// rounds decorrelate adjacent trial indices.
+inline uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t trial_index) {
+  uint64_t seed = SplitMix64(SplitMix64(base_seed) ^ (trial_index + 1));
+  // The simulation treats seed 0 like any other, but reserve it anyway so a
+  // derived seed is never mistaken for "unset".
+  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_RUNNER_SEED_H_

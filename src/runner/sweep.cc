@@ -1,0 +1,197 @@
+#include "runner/sweep.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "runner/seed.h"
+#include "util/table_printer.h"
+
+namespace flowercdn {
+
+Result<SystemChoice> ParseSystemChoice(std::string_view name) {
+  if (name == "flower") {
+    return SystemChoice{SystemKind::kFlowerCdn, SquirrelMode::kDirectory,
+                        "flower"};
+  }
+  if (name == "squirrel") {
+    return SystemChoice{SystemKind::kSquirrel, SquirrelMode::kDirectory,
+                        "squirrel"};
+  }
+  if (name == "squirrel-homestore") {
+    return SystemChoice{SystemKind::kSquirrel, SquirrelMode::kHomeStore,
+                        "squirrel-homestore"};
+  }
+  return Status::InvalidArgument("unknown system '" + std::string(name) +
+                                 "' (want flower|squirrel|"
+                                 "squirrel-homestore)");
+}
+
+namespace {
+
+std::vector<std::string_view> SplitList(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    size_t pos = s.find(sep);
+    out.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+Result<double> ParseNumber(std::string_view token, std::string_view key) {
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size() || errno != 0) {
+    return Status::InvalidArgument("sweep: bad number '" + buf + "' for '" +
+                                   std::string(key) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
+                                   const ExperimentConfig& base) {
+  SweepSpec sweep;
+  sweep.base = base;
+  sweep.base_seed = base.seed;
+
+  for (std::string_view clause : SplitList(spec, ';')) {
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("sweep: clause '" + std::string(clause) +
+                                     "' is not key=v1,v2,...");
+    }
+    std::string_view key = clause.substr(0, eq);
+    std::vector<std::string_view> values = SplitList(clause.substr(eq + 1),
+                                                     ',');
+    if (values.size() == 1 && values[0].empty()) {
+      return Status::InvalidArgument("sweep: empty value list for '" +
+                                     std::string(key) + "'");
+    }
+
+    if (key == "system") {
+      for (std::string_view v : values) {
+        Result<SystemChoice> choice = ParseSystemChoice(v);
+        if (!choice.ok()) return choice.status();
+        sweep.systems.push_back(*choice);
+      }
+      continue;
+    }
+
+    std::vector<double> numbers;
+    numbers.reserve(values.size());
+    for (std::string_view v : values) {
+      Result<double> n = ParseNumber(v, key);
+      if (!n.ok()) return n.status();
+      numbers.push_back(*n);
+    }
+
+    if (key == "population") {
+      for (double n : numbers) {
+        if (n < 1) return Status::InvalidArgument("sweep: population < 1");
+        sweep.populations.push_back(static_cast<size_t>(n));
+      }
+    } else if (key == "zipf") {
+      for (double n : numbers) {
+        if (n < 0) return Status::InvalidArgument("sweep: zipf < 0");
+        sweep.zipf_alphas.push_back(n);
+      }
+    } else if (key == "uptime-min") {
+      for (double n : numbers) {
+        if (n <= 0) return Status::InvalidArgument("sweep: uptime-min <= 0");
+        sweep.mean_uptimes.push_back(
+            static_cast<SimDuration>(n * static_cast<double>(kMinute)));
+      }
+    } else if (key == "trials") {
+      if (numbers.size() != 1 || numbers[0] < 1) {
+        return Status::InvalidArgument("sweep: trials wants one value >= 1");
+      }
+      sweep.trials = static_cast<size_t>(numbers[0]);
+    } else if (key == "seed") {
+      if (numbers.size() != 1) {
+        return Status::InvalidArgument("sweep: seed wants one value");
+      }
+      sweep.base_seed = static_cast<uint64_t>(numbers[0]);
+    } else if (key == "hours") {
+      if (numbers.size() != 1 || numbers[0] <= 0) {
+        return Status::InvalidArgument("sweep: hours wants one value > 0");
+      }
+      sweep.base.duration = static_cast<SimDuration>(
+          numbers[0] * static_cast<double>(kHour));
+    } else {
+      return Status::InvalidArgument(
+          "sweep: unknown key '" + std::string(key) +
+          "' (want population|zipf|uptime-min|system|trials|seed|hours)");
+    }
+  }
+  return sweep;
+}
+
+size_t SweepSpec::NumCells() const {
+  size_t cells = 1;
+  if (!populations.empty()) cells *= populations.size();
+  if (!zipf_alphas.empty()) cells *= zipf_alphas.size();
+  if (!mean_uptimes.empty()) cells *= mean_uptimes.size();
+  cells *= systems.empty() ? 1 : systems.size();
+  return cells;
+}
+
+std::vector<TrialJob> SweepSpec::Expand() const {
+  // Singleton fallbacks: an unswept dimension keeps the base value and
+  // stays out of the labels.
+  std::vector<size_t> pops =
+      populations.empty() ? std::vector<size_t>{base.target_population}
+                          : populations;
+  std::vector<double> zipfs = zipf_alphas.empty()
+                                  ? std::vector<double>{base.catalog.zipf_alpha}
+                                  : zipf_alphas;
+  std::vector<SimDuration> uptimes =
+      mean_uptimes.empty() ? std::vector<SimDuration>{base.mean_uptime}
+                           : mean_uptimes;
+  std::vector<SystemChoice> kinds =
+      systems.empty() ? std::vector<SystemChoice>{SystemChoice{}} : systems;
+
+  std::vector<TrialJob> jobs;
+  jobs.reserve(pops.size() * zipfs.size() * uptimes.size() * kinds.size() *
+               trials);
+  size_t cell = 0;
+  for (size_t population : pops) {
+    for (double zipf : zipfs) {
+      for (SimDuration uptime : uptimes) {
+        for (const SystemChoice& sys : kinds) {
+          std::string label = sys.name;
+          if (pops.size() > 1) {
+            label += "/P=" + std::to_string(population);
+          }
+          if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
+          if (uptimes.size() > 1) {
+            label += "/m=" + std::to_string(uptime / kMinute) + "min";
+          }
+          for (size_t trial = 0; trial < trials; ++trial) {
+            TrialJob job;
+            job.config = base;
+            job.config.target_population = population;
+            job.config.catalog.zipf_alpha = zipf;
+            job.config.mean_uptime = uptime;
+            job.config.squirrel.mode = sys.squirrel_mode;
+            job.config.seed = DeriveTrialSeed(base_seed, trial);
+            job.kind = sys.kind;
+            job.cell = cell;
+            job.trial = trial;
+            job.label = label;
+            jobs.push_back(std::move(job));
+          }
+          ++cell;
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace flowercdn

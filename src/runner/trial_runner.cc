@@ -1,0 +1,88 @@
+#include "runner/trial_runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+TrialRunner::TrialRunner() : TrialRunner(Options{}) {}
+
+TrialRunner::TrialRunner(Options options) : options_(options) {}
+
+size_t TrialRunner::EffectiveJobs(size_t num_jobs) const {
+  size_t jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+  }
+  return std::min(jobs, num_jobs > 0 ? num_jobs : size_t{1});
+}
+
+std::vector<ExperimentResult> TrialRunner::Run(
+    const std::vector<TrialJob>& jobs, const Progress& progress) const {
+  std::vector<ExperimentResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  size_t workers = EffectiveJobs(jobs.size());
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      // The simulation is self-contained (its own env, RNG streams and
+      // event queue), so trials share nothing but this queue. The result
+      // lands at the job's own index: output order is fixed by the input,
+      // not by completion order.
+      results[i] = RunExperiment(jobs[i].config, jobs[i].kind);
+      size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        progress(jobs[i], finished, jobs.size());
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+std::vector<CellResult> RunCells(const TrialRunner& runner,
+                                 const std::vector<TrialJob>& jobs,
+                                 const TrialRunner::Progress& progress) {
+  std::vector<ExperimentResult> results = runner.Run(jobs, progress);
+
+  std::vector<CellResult> cells;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const TrialJob& job = jobs[i];
+    if (job.cell >= cells.size()) cells.resize(job.cell + 1);
+    CellResult& cell = cells[job.cell];
+    if (job.trial == 0) {
+      cell.label = job.label;
+      cell.kind = job.kind;
+      cell.config = job.config;
+    }
+    FLOWERCDN_CHECK(job.trial == cell.trials.size())
+        << "jobs of cell " << job.cell << " not in trial order";
+    cell.trials.push_back(std::move(results[i]));
+  }
+  for (CellResult& cell : cells) {
+    FLOWERCDN_CHECK(!cell.trials.empty()) << "sweep cell with no trials";
+    cell.aggregate = Aggregate(cell.trials);
+  }
+  return cells;
+}
+
+}  // namespace flowercdn

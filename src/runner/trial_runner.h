@@ -1,0 +1,79 @@
+#ifndef FLOWERCDN_RUNNER_TRIAL_RUNNER_H_
+#define FLOWERCDN_RUNNER_TRIAL_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.h"
+#include "runner/aggregate.h"
+
+namespace flowercdn {
+
+/// One unit of work for the runner: a fully-resolved simulation (config
+/// seed already derived from the base seed and trial index).
+struct TrialJob {
+  ExperimentConfig config;
+  SystemKind kind = SystemKind::kFlowerCdn;
+  /// Index of the sweep-grid cell this trial belongs to; trials of one cell
+  /// aggregate together.
+  size_t cell = 0;
+  /// Trial index within the cell (drives the seed derivation).
+  size_t trial = 0;
+  /// Human-readable cell label, e.g. "Flower-CDN/P=3000".
+  std::string label;
+};
+
+/// Executes a batch of independent TrialJobs across a pool of worker
+/// threads. Each job runs a fully self-contained simulation, so the only
+/// shared state is the work queue: results land at the job's own index and
+/// the output is identical for any thread count or scheduling order.
+class TrialRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means one per hardware thread. 1 runs everything
+    /// inline on the calling thread (no pool).
+    size_t jobs = 0;
+  };
+
+  /// Defaults to one worker per hardware thread.
+  TrialRunner();
+  explicit TrialRunner(Options options);
+
+  /// Invoked (under a lock, from worker threads) after each job finishes.
+  using Progress = std::function<void(const TrialJob& job, size_t done,
+                                      size_t total)>;
+
+  /// Runs every job; `results[i]` is job `jobs[i]`'s result. Blocks until
+  /// all jobs complete.
+  std::vector<ExperimentResult> Run(const std::vector<TrialJob>& jobs,
+                                    const Progress& progress = {}) const;
+
+  /// Effective worker count for a batch of `num_jobs` jobs.
+  size_t EffectiveJobs(size_t num_jobs) const;
+
+ private:
+  Options options_;
+};
+
+/// Results of one sweep cell: the trials (ordered by trial index) and
+/// their aggregate.
+struct CellResult {
+  std::string label;
+  SystemKind kind = SystemKind::kFlowerCdn;
+  ExperimentConfig config;  // representative config (trial 0's seed)
+  std::vector<ExperimentResult> trials;
+  AggregateResult aggregate;
+};
+
+/// Runs `jobs` through `runner` and folds the per-trial results back into
+/// one CellResult per cell, in cell order. Jobs of one cell must carry
+/// consecutive `trial` indices starting at 0.
+std::vector<CellResult> RunCells(const TrialRunner& runner,
+                                 const std::vector<TrialJob>& jobs,
+                                 const TrialRunner::Progress& progress = {});
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_RUNNER_TRIAL_RUNNER_H_

@@ -85,6 +85,25 @@ std::vector<Histogram::CdfPoint> Histogram::Cdf() const {
   return out;
 }
 
+bool Histogram::Merge(const Histogram& other) {
+  if (bucket_width_ != other.bucket_width_ ||
+      counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  if (other.count_ == 0) return true;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return true;
+}
+
 void Histogram::Clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

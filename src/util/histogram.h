@@ -48,6 +48,13 @@ class Histogram {
 
   void Clear();
 
+  /// Adds every sample of `other` into this histogram, bucket-pointwise.
+  /// Requires identical geometry (bucket width and count); returns false —
+  /// leaving this histogram untouched — otherwise. Merging preserves
+  /// count/sum/min/max exactly, so aggregate means equal the mean of the
+  /// pooled samples.
+  bool Merge(const Histogram& other);
+
  private:
   double bucket_width_;
   std::vector<size_t> counts_;  // last slot = overflow

@@ -97,5 +97,51 @@ TEST(RunningStatTest, SingleValue) {
   EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
 }
 
+TEST(HistogramMergeTest, PoolsCountsAndMoments) {
+  Histogram a(10, 3);  // covers [0, 30) + overflow
+  for (double v : {5.0, 15.0}) a.Add(v);
+  Histogram b(10, 3);
+  for (double v : {25.0, 95.0}) b.Add(v);  // 95 overflows
+
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 140.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 35.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 95.0);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_EQ(a.bucket_count(3), 1u);  // overflow slot
+}
+
+TEST(HistogramMergeTest, EmptySidesAreIdentity) {
+  Histogram a(10, 3);
+  a.Add(5.0);
+  Histogram empty(10, 3);
+  ASSERT_TRUE(a.Merge(empty));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Min(), 5.0);
+
+  Histogram c(10, 3);
+  ASSERT_TRUE(c.Merge(a));
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 5.0);
+}
+
+TEST(HistogramMergeTest, GeometryMismatchRejectedUntouched) {
+  Histogram a(10, 3);
+  a.Add(5.0);
+  Histogram wrong_width(20, 3);
+  wrong_width.Add(5.0);
+  Histogram wrong_buckets(10, 4);
+  wrong_buckets.Add(5.0);
+  EXPECT_FALSE(a.Merge(wrong_width));
+  EXPECT_FALSE(a.Merge(wrong_buckets));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 5.0);
+}
+
 }  // namespace
 }  // namespace flowercdn

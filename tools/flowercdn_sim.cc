@@ -1,6 +1,7 @@
 // flowercdn_sim — command-line front end for the simulation library: run
-// any (system, configuration) deployment, print the paper's metrics, and
-// optionally export CSV series for plotting.
+// any (system, configuration) deployment — or a whole sweep of them, in
+// parallel, with repeated trials — print the paper's metrics with error
+// bars, and export CSV series or runner JSON for plotting.
 
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,9 @@
 #include <string>
 
 #include "expt/experiment.h"
+#include "runner/json_export.h"
+#include "runner/sweep.h"
+#include "runner/trial_runner.h"
 #include "util/table_printer.h"
 
 using namespace flowercdn;
@@ -22,7 +26,7 @@ void Usage(const char* argv0) {
                "  --system=flower|squirrel|squirrel-homestore   (default flower)\n"
                "  --population=P        target population        (default 2000)\n"
                "  --hours=N             simulated duration       (default 24)\n"
-               "  --seed=S              RNG seed                 (default 42)\n"
+               "  --seed=S              base RNG seed            (default 42)\n"
                "  --websites=W          catalog size             (default 100)\n"
                "  --active=A            query-generating sites   (default 6)\n"
                "  --objects=K           objects per website      (default 500)\n"
@@ -33,7 +37,20 @@ void Usage(const char* argv0) {
                "  --no-retain-cache     clear browser caches on re-join\n"
                "  --collab              enable directory collaboration (§3.2)\n"
                "  --no-petalup          disable elastic directory instances\n"
-               "  --csv=PREFIX          write PREFIX.{timeseries,lookup,transfer}.csv\n"
+               "  --trials=N            independent trials per configuration\n"
+               "                        (seeds derived from --seed; default 1)\n"
+               "  --jobs=J              worker threads (default: all cores)\n"
+               "  --sweep=SPEC          config grid, e.g.\n"
+               "                        'population=2000,3000;system=flower,"
+               "squirrel;trials=4'\n"
+               "                        (keys: population zipf uptime-min "
+               "system trials seed hours)\n"
+               "  --json-out=PATH       write runner JSON (per-trial + "
+               "aggregate)\n"
+               "  --json-aggregate-only omit per-trial results from the JSON\n"
+               "  --csv=PREFIX          write PREFIX.{timeseries,lookup,"
+               "transfer}.csv\n"
+               "                        (single-trial runs only)\n"
                "  --quiet               suppress progress output\n",
                argv0);
 }
@@ -79,27 +96,79 @@ void WriteCsv(const std::string& prefix, const ExperimentResult& r) {
   }
 }
 
+/// The original one-run report, unchanged for single-trial invocations.
+void PrintSingleRunTable(const CellResult& cell) {
+  const ExperimentResult& r = cell.trials[0];
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"system", SystemKindName(cell.kind)});
+  table.AddRow({"population target",
+                std::to_string(cell.config.target_population)});
+  table.AddRow({"final population", std::to_string(r.final_population)});
+  table.AddRow({"queries", std::to_string(r.total_queries)});
+  table.AddRow({"hit ratio", FormatDouble(r.hit_ratio, 3)});
+  table.AddRow({"mean lookup (ms)", FormatDouble(r.mean_lookup_ms, 1)});
+  table.AddRow({"mean lookup, hits (ms)",
+                FormatDouble(r.lookup_hits.Mean(), 1)});
+  table.AddRow({"mean transfer, hits (ms)",
+                FormatDouble(r.mean_transfer_hits_ms, 1)});
+  table.AddRow({"messages sent", std::to_string(r.messages_sent)});
+  table.AddRow({"traffic (MB)",
+                FormatDouble(static_cast<double>(r.bytes_sent) / 1048576.0,
+                             1)});
+  table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
+  table.AddRow({"churn failures", std::to_string(r.churn_failures)});
+  table.AddRow({"sim events", std::to_string(r.events_processed)});
+  if (cell.kind == SystemKind::kFlowerCdn) {
+    table.AddRow({"directory failovers",
+                  std::to_string(r.flower_stats.dir_failures_detected)});
+    table.AddRow({"petalup promotions",
+                  std::to_string(r.flower_stats.promotions_triggered)});
+    table.AddRow({"live directories",
+                  std::to_string(r.flower_stats.live_directories)});
+  }
+  table.Print(std::cout);
+}
+
+std::string PlusMinus(const MetricSummary& s, int digits) {
+  std::string out = FormatDouble(s.mean, digits);
+  if (s.n > 1) out += " ±" + FormatDouble(s.ci95_half, digits);
+  return out;
+}
+
+/// Aggregate report: one row per sweep cell, mean ±95% CI.
+void PrintAggregateTable(const std::vector<CellResult>& cells) {
+  TablePrinter table({"configuration", "trials", "hit_ratio", "lookup_ms",
+                      "lookup_hits_ms", "transfer_hits_ms", "queries"});
+  for (const CellResult& cell : cells) {
+    const AggregateResult& a = cell.aggregate;
+    table.AddRow({cell.label, std::to_string(a.trials),
+                  PlusMinus(a.hit_ratio, 3), PlusMinus(a.mean_lookup_ms, 0),
+                  PlusMinus(a.mean_lookup_hits_ms, 0),
+                  PlusMinus(a.mean_transfer_hits_ms, 0),
+                  PlusMinus(a.total_queries, 0)});
+  }
+  table.Print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ExperimentConfig config;
-  SystemKind kind = SystemKind::kFlowerCdn;
+  std::string system_name = "flower";
   std::string csv_prefix;
+  std::string sweep_spec;
+  std::string json_out;
+  bool json_include_trials = true;
+  long long trials = 1;
+  long long jobs = 0;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     long long value = 0;
     if (std::strncmp(arg, "--system=", 9) == 0) {
-      std::string system = arg + 9;
-      if (system == "flower") {
-        kind = SystemKind::kFlowerCdn;
-      } else if (system == "squirrel") {
-        kind = SystemKind::kSquirrel;
-      } else if (system == "squirrel-homestore") {
-        kind = SystemKind::kSquirrel;
-        config.squirrel.mode = SquirrelMode::kHomeStore;
-      } else {
+      system_name = arg + 9;
+      if (!ParseSystemChoice(system_name).ok()) {
         Usage(argv[0]);
         return 2;
       }
@@ -129,6 +198,24 @@ int main(int argc, char** argv) {
       config.flower.enable_dir_collaboration = true;
     } else if (std::strcmp(arg, "--no-petalup") == 0) {
       config.flower.petalup_enabled = false;
+    } else if (ParseFlag(arg, "--trials", &value)) {
+      if (value < 1) {
+        Usage(argv[0]);
+        return 2;
+      }
+      trials = value;
+    } else if (ParseFlag(arg, "--jobs", &value)) {
+      if (value < 0) {
+        Usage(argv[0]);
+        return 2;
+      }
+      jobs = value;
+    } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      sweep_spec = arg + 8;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      json_out = arg + 11;
+    } else if (std::strcmp(arg, "--json-aggregate-only") == 0) {
+      json_include_trials = false;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       csv_prefix = arg + 6;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -139,51 +226,63 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::function<void(SimTime, SimTime)> progress;
+  // Assemble the sweep: --sweep clauses layer over the scalar flags; a
+  // `trials=` / `seed=` clause inside the spec wins over the flag.
+  Result<SweepSpec> parsed = SweepSpec::Parse(sweep_spec, config);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  SweepSpec sweep = *parsed;
+  if (sweep.trials == 1) sweep.trials = static_cast<size_t>(trials);
+  if (sweep.systems.empty()) {
+    sweep.systems.push_back(*ParseSystemChoice(system_name));
+  }
+
+  std::vector<TrialJob> grid = sweep.Expand();
+  TrialRunner runner(TrialRunner::Options{static_cast<size_t>(jobs)});
+
   if (!quiet) {
-    progress = [](SimTime now, SimTime total) {
-      std::fprintf(stderr, "simulated %lld/%lld h\r",
-                   static_cast<long long>(now / kHour),
-                   static_cast<long long>(total / kHour));
-      if (now >= total) std::fprintf(stderr, "\n");
+    std::fprintf(stderr, "%zu cell(s) x %zu trial(s) = %zu run(s) on %zu "
+                 "worker(s)\n",
+                 sweep.NumCells(), sweep.trials, grid.size(),
+                 runner.EffectiveJobs(grid.size()));
+  }
+  TrialRunner::Progress progress;
+  if (!quiet) {
+    progress = [](const TrialJob& job, size_t done, size_t total) {
+      std::fprintf(stderr, "  [%zu/%zu] %s trial %zu done\n", done, total,
+                   job.label.c_str(), job.trial);
     };
   }
 
-  ExperimentResult r = RunExperiment(config, kind, progress);
+  std::vector<CellResult> cells = RunCells(runner, grid, progress);
 
-  TablePrinter table({"metric", "value"});
-  table.AddRow({"system", SystemKindName(kind)});
-  table.AddRow({"population target", std::to_string(config.target_population)});
-  table.AddRow({"final population", std::to_string(r.final_population)});
-  table.AddRow({"queries", std::to_string(r.total_queries)});
-  table.AddRow({"hit ratio", FormatDouble(r.hit_ratio, 3)});
-  table.AddRow({"mean lookup (ms)", FormatDouble(r.mean_lookup_ms, 1)});
-  table.AddRow({"mean lookup, hits (ms)",
-                FormatDouble(r.lookup_hits.Mean(), 1)});
-  table.AddRow({"mean transfer, hits (ms)",
-                FormatDouble(r.mean_transfer_hits_ms, 1)});
-  table.AddRow({"messages sent", std::to_string(r.messages_sent)});
-  table.AddRow({"traffic (MB)",
-                FormatDouble(static_cast<double>(r.bytes_sent) / 1048576.0,
-                             1)});
-  table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
-  table.AddRow({"churn failures", std::to_string(r.churn_failures)});
-  table.AddRow({"sim events", std::to_string(r.events_processed)});
-  if (kind == SystemKind::kFlowerCdn) {
-    table.AddRow({"directory failovers",
-                  std::to_string(r.flower_stats.dir_failures_detected)});
-    table.AddRow({"petalup promotions",
-                  std::to_string(r.flower_stats.promotions_triggered)});
-    table.AddRow({"live directories",
-                  std::to_string(r.flower_stats.live_directories)});
+  if (cells.size() == 1 && cells[0].trials.size() == 1) {
+    PrintSingleRunTable(cells[0]);
+    if (!csv_prefix.empty()) {
+      WriteCsv(csv_prefix, cells[0].trials[0]);
+      std::printf("\nCSV series written to %s.{timeseries,lookup,transfer}"
+                  ".csv\n",
+                  csv_prefix.c_str());
+    }
+  } else {
+    PrintAggregateTable(cells);
+    if (!csv_prefix.empty()) {
+      std::fprintf(stderr,
+                   "--csv applies to single-trial runs; use --json-out for "
+                   "sweeps\n");
+    }
   }
-  table.Print(std::cout);
 
-  if (!csv_prefix.empty()) {
-    WriteCsv(csv_prefix, r);
-    std::printf("\nCSV series written to %s.{timeseries,lookup,transfer}"
-                ".csv\n",
-                csv_prefix.c_str());
+  if (!json_out.empty()) {
+    Status s = WriteSweepJsonFile(json_out, sweep.base_seed, cells,
+                                  json_include_trials);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nrunner JSON written to %s\n", json_out.c_str());
   }
   return 0;
 }
