@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(args.duration / kHour));
 
   TablePrinter table({"approach", "msgs_total", "dht_msgs", "gossip_msgs",
-                      "app_msgs", "MB_total", "B_per_peer_per_s",
-                      "msgs_per_query"});
+                      "app_msgs", "dht_MB", "gossip_MB", "dropped_MB",
+                      "MB_total", "B_per_peer_per_s", "msgs_per_query"});
   for (SystemKind kind : {SystemKind::kFlowerCdn, SystemKind::kSquirrel}) {
     ExperimentConfig config = args.MakeConfig();
     std::fprintf(stderr, "running %s...\n", SystemKindName(kind));
@@ -34,14 +34,17 @@ int main(int argc, char** argv) {
         static_cast<double>(r.bytes_sent) /
         (seconds * static_cast<double>(config.target_population));
     uint64_t app_msgs = kind == SystemKind::kFlowerCdn
-                            ? r.traffic.flower_messages
-                            : r.traffic.squirrel_messages;
+                            ? r.traffic.flower.messages
+                            : r.traffic.squirrel.messages;
+    auto mb = [](uint64_t bytes) {
+      return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+    };
     table.AddRow(
         {SystemKindName(kind), std::to_string(r.messages_sent),
-         std::to_string(r.traffic.chord_messages),
-         std::to_string(r.traffic.gossip_messages), std::to_string(app_msgs),
-         FormatDouble(static_cast<double>(r.bytes_sent) / (1024.0 * 1024.0),
-                      1),
+         std::to_string(r.traffic.chord.messages),
+         std::to_string(r.traffic.gossip.messages), std::to_string(app_msgs),
+         mb(r.traffic.chord.bytes), mb(r.traffic.gossip.bytes),
+         mb(r.traffic.dropped.bytes), mb(r.bytes_sent),
          FormatDouble(per_peer_bps, 1),
          FormatDouble(r.total_queries
                           ? static_cast<double>(r.messages_sent) /

@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
   }
   std::vector<CellResult> cells = bench::RunGrid(args, jobs);
 
-  TablePrinter table({"P", "approach", "hit_ratio", "lookup_ms",
-                      "lookup_hits_ms", "transfer_ms"});
+  TablePrinter table({"P", "approach", "hit_ratio", "lookup_ms", "lookup_p95",
+                      "lookup_p99", "lookup_hits_ms", "transfer_ms"});
   struct Row {
     size_t population;
     double flower_lookup = 0, squirrel_lookup = 0;
@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
       table.AddRow({std::to_string(row.population), SystemKindName(cell.kind),
                     bench::PlusMinus(a.hit_ratio, 2),
                     bench::PlusMinus(a.mean_lookup_ms, 0),
+                    FormatDouble(a.lookup_all.Quantile(0.95), 0),
+                    FormatDouble(a.lookup_all.Quantile(0.99), 0),
                     bench::PlusMinus(a.mean_lookup_hits_ms, 0),
                     bench::PlusMinus(a.mean_transfer_hits_ms, 0)});
       if (cell.kind == SystemKind::kFlowerCdn) {

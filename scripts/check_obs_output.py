@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability outputs of flowercdn-sim.
+
+Validates that
+
+  * a --trace-out file is well-formed Chrome trace-event JSON that
+    chrome://tracing / Perfetto will accept (object form, "traceEvents"
+    list, complete events with integer ts/dur), and
+  * a --json-out file follows the flowercdn-runner/v2 schema, in
+    particular the per-trial "overhead" and "overlay" sections.
+
+Usage:
+  check_obs_output.py --trace trace.json --runner out.json
+Either argument may be given alone. Exits non-zero on the first problem.
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import sys
+
+TRAFFIC_FAMILIES = ("chord", "gossip", "flower", "squirrel", "other",
+                    "dropped")
+PHASE_NAMES = ("dring_resolve", "dir_query", "summary_probe", "fetch",
+               "origin")
+
+
+def fail(msg):
+    print(f"check_obs_output: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    require(isinstance(doc, dict), "trace: top level must be an object")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), 'trace: missing "traceEvents" list')
+    require(len(events) > 0, "trace: no events at all")
+
+    n_complete = 0
+    n_meta = 0
+    for i, ev in enumerate(events):
+        require(isinstance(ev, dict), f"trace: event {i} is not an object")
+        ph = ev.get("ph")
+        require(ph in ("X", "M"), f"trace: event {i} has ph={ph!r}")
+        require(ev.get("pid") == 1, f"trace: event {i} pid != 1")
+        if ph == "M":
+            n_meta += 1
+            continue
+        n_complete += 1
+        for key in ("name", "ts", "dur", "tid", "args"):
+            require(key in ev, f"trace: event {i} lacks {key!r}")
+        require(isinstance(ev["ts"], int) and ev["ts"] >= 0,
+                f"trace: event {i} ts must be a non-negative integer")
+        require(isinstance(ev["dur"], int) and ev["dur"] >= 0,
+                f"trace: event {i} dur must be a non-negative integer")
+        require("query" in ev["args"],
+                f"trace: event {i} args lack the query id")
+        if ev.get("cat") == "phase":
+            require(ev["name"] in PHASE_NAMES,
+                    f"trace: event {i} has unknown phase {ev['name']!r}")
+
+    require(n_meta >= 1, "trace: expected a process_name metadata event")
+    require(n_complete >= 1, "trace: expected at least one complete event")
+    print(f"check_obs_output: trace OK "
+          f"({n_complete} events, {n_meta} metadata)")
+
+
+def check_dist(d, where):
+    require(isinstance(d, dict), f"runner: {where} is not an object")
+    for key in ("count", "min", "mean", "max", "p95"):
+        require(key in d, f"runner: {where} lacks {key!r}")
+
+
+def check_trial(trial, where):
+    overhead = trial.get("overhead")
+    require(isinstance(overhead, dict), f'runner: {where} lacks "overhead"')
+    require(isinstance(overhead.get("bucket_ms"), int) and
+            overhead["bucket_ms"] > 0,
+            f"runner: {where} overhead.bucket_ms must be a positive int")
+    families = overhead.get("families")
+    require(isinstance(families, dict),
+            f'runner: {where} overhead lacks "families"')
+    for fam in TRAFFIC_FAMILIES:
+        f = families.get(fam)
+        require(isinstance(f, dict),
+                f"runner: {where} overhead.families lacks {fam!r}")
+        for key in ("messages", "bytes", "messages_per_bucket",
+                    "bytes_per_bucket"):
+            require(key in f, f"runner: {where} family {fam} lacks {key!r}")
+        require(sum(f["bytes_per_bucket"]) == f["bytes"],
+                f"runner: {where} family {fam}: per-bucket bytes do not sum "
+                f"to the total")
+    counters = overhead.get("counters")
+    require(isinstance(counters, list),
+            f'runner: {where} overhead lacks "counters"')
+    for c in counters:
+        require(set(c) >= {"name", "total", "per_bucket"},
+                f"runner: {where} counter entry malformed: {c}")
+
+    overlay = trial.get("overlay")
+    require(isinstance(overlay, list), f'runner: {where} lacks "overlay"')
+    last_t = 0
+    for s in overlay:
+        for key in ("t_ms", "alive", "clients", "content_peers",
+                    "directories", "max_instance"):
+            require(key in s, f"runner: {where} overlay sample lacks {key!r}")
+        require(s["t_ms"] > last_t,
+                f"runner: {where} overlay times must be increasing")
+        last_t = s["t_ms"]
+        check_dist(s["dir_load"], f"{where} overlay dir_load")
+        check_dist(s["petal_size"], f"{where} overlay petal_size")
+
+
+def check_runner(path):
+    with open(path) as f:
+        doc = json.load(f)
+    require(doc.get("schema") == "flowercdn-runner/v2",
+            f"runner: schema is {doc.get('schema')!r}, "
+            f"want flowercdn-runner/v2")
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and cells, "runner: no cells")
+    n_trials = 0
+    for ci, cell in enumerate(cells):
+        for hist in ("lookup_all", "lookup_hits"):
+            h = cell["aggregate"]["histograms"][hist]
+            require("p99" in h, f"runner: cell {ci} {hist} lacks p99")
+        for ti, trial in enumerate(cell.get("trial_results", [])):
+            check_trial(trial, f"cell {ci} trial {ti}")
+            n_trials += 1
+    require(n_trials > 0,
+            "runner: no trial_results (run without --json-aggregate-only)")
+    print(f"check_obs_output: runner OK "
+          f"({len(cells)} cells, {n_trials} trials)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace JSON from --trace-out")
+    parser.add_argument("--runner", help="runner JSON from --json-out")
+    args = parser.parse_args()
+    if not args.trace and not args.runner:
+        parser.error("give --trace and/or --runner")
+    if args.trace:
+        check_trace(args.trace)
+    if args.runner:
+        check_runner(args.runner)
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,17 @@ struct ExperimentConfig {
   /// join storm while the initial D-ring assembles).
   SimDuration initial_join_stagger = 20;
 
+  /// Period of the overlay-state / traffic samplers (and the bucket width
+  /// of the stats registry's per-time series). Paper-style reporting uses
+  /// one simulated hour.
+  SimDuration stats_interval = kHour;
+  /// When true, every client query records per-phase spans into a
+  /// TraceCollector (exportable as Chrome trace-event JSON).
+  bool collect_traces = false;
+  /// Span-storage cap of the trace collector (histograms keep counting
+  /// past it).
+  size_t trace_max_queries = 200000;
+
   Topology::Params topology;
   WebsiteCatalog::Params catalog;
   QueryWorkload::Params workload;

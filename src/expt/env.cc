@@ -26,7 +26,11 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& config)
       origins_(&topology_, config.catalog.num_websites, config.origin,
                root_rng_.Fork("origins")),
       metrics_(config.metrics),
-      churn_(&sim_, root_rng_.Fork("churn"), MakeChurnParams(config)) {
+      churn_(&sim_, root_rng_.Fork("churn"), MakeChurnParams(config)),
+      stats_([this] { return sim_.now(); }, config.stats_interval) {
+  if (config_.collect_traces) {
+    trace_ = std::make_shared<TraceCollector>(config_.trace_max_queries);
+  }
   const size_t universe = config_.UniverseSize();
   const int k = config_.topology.num_localities;
   const int num_websites = config_.catalog.num_websites;

@@ -6,6 +6,8 @@
 
 #include "expt/config.h"
 #include "metrics/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sim/churn.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -49,6 +51,11 @@ class ExperimentEnv {
   const OriginServers& origins() const { return origins_; }
   MetricsCollector& metrics() { return metrics_; }
   ChurnProcess& churn() { return churn_; }
+  StatsRegistry& stats() { return stats_; }
+  /// Non-null iff config.collect_traces. Shared so results can outlive the
+  /// environment without copying the span store.
+  const std::shared_ptr<TraceCollector>& trace() const { return trace_; }
+  TraceCollector* trace_ptr() const { return trace_.get(); }
 
   size_t universe_size() const { return identities_.size(); }
   Identity& identity(PeerId id);
@@ -76,6 +83,8 @@ class ExperimentEnv {
   OriginServers origins_;
   MetricsCollector metrics_;
   ChurnProcess churn_;
+  StatsRegistry stats_;
+  std::shared_ptr<TraceCollector> trace_;  // null when tracing is off
   std::vector<Identity> identities_;  // index = PeerId - 1
 };
 

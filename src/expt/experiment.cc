@@ -20,6 +20,9 @@ ExperimentResult RunExperiment(
     const ExperimentConfig& config, SystemKind kind,
     const std::function<void(SimTime now, SimTime total)>& progress) {
   ExperimentEnv env(config);
+  TrafficSampler traffic_sampler(&env.sim(), &env.network(),
+                                 config.stats_interval);
+  traffic_sampler.Start();
   std::unique_ptr<FlowerSystem> flower;
   std::unique_ptr<SquirrelSystem> squirrel;
   if (kind == SystemKind::kFlowerCdn) {
@@ -70,10 +73,16 @@ ExperimentResult RunExperiment(
   if (flower != nullptr) {
     result.flower_stats = flower->ComputeStats();
     result.load_samples = flower->load_samples();
+    result.overlay_samples = flower->overlay_samples();
   }
   if (squirrel != nullptr) {
     result.squirrel_stats = squirrel->ComputeStats();
   }
+
+  result.stats_interval = config.stats_interval;
+  result.traffic_series = traffic_sampler.points();
+  result.stat_counters = env.stats().SnapshotCounters();
+  result.trace = env.trace();
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define FLOWERCDN_EXPT_EXPERIMENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,9 @@
 #include "expt/flower_system.h"
 #include "expt/squirrel_system.h"
 #include "metrics/metrics.h"
+#include "obs/sampler.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 
 namespace flowercdn {
@@ -62,6 +66,19 @@ struct ExperimentResult {
 
   // Squirrel-specific protocol stats (zeroed for Flower runs).
   SquirrelSystem::Stats squirrel_stats;
+
+  // --- Observability (src/obs) ----------------------------------------------
+  /// Width of the per-time buckets below (config.stats_interval).
+  SimDuration stats_interval = kHour;
+  /// Cumulative traffic snapshots taken every stats_interval; diff
+  /// consecutive points for per-interval bytes/messages per family.
+  std::vector<TrafficSampler::Point> traffic_series;
+  /// Named protocol counters with per-interval series, sorted by name.
+  std::vector<StatsRegistry::CounterSnapshot> stat_counters;
+  /// Hourly overlay snapshots (empty for Squirrel runs).
+  std::vector<OverlaySample> overlay_samples;
+  /// Query-lifecycle traces; null unless config.collect_traces.
+  std::shared_ptr<TraceCollector> trace;
 };
 
 /// Runs one full simulated deployment of `kind` under `config`.

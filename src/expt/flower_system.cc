@@ -1,6 +1,7 @@
 #include "expt/flower_system.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "util/logging.h"
@@ -22,6 +23,8 @@ FlowerSystem::FlowerSystem(ExperimentEnv* env, const FlowerParams& params)
   ctx_.origins = &env_->origins();
   ctx_.keyspace = &keyspace_;
   ctx_.params = &params_;
+  ctx_.trace = env_->trace_ptr();
+  ctx_.stats = &env_->stats();
   ctx_.pick_dring_bootstrap = [this](PeerId self) {
     return PickDirectoryBootstrap(self);
   };
@@ -78,6 +81,46 @@ void FlowerSystem::Setup() {
   }
   churn.Start();
   ScheduleLoadSampling();
+  overlay_sampler_ = std::make_unique<OverlaySampler>(
+      &env_->sim(), env_->config().stats_interval);
+  overlay_sampler_->Start([this] { return ProbeOverlay(); });
+}
+
+const std::vector<OverlaySample>& FlowerSystem::overlay_samples() const {
+  static const std::vector<OverlaySample> kEmpty;
+  return overlay_sampler_ != nullptr ? overlay_sampler_->samples() : kEmpty;
+}
+
+OverlaySample FlowerSystem::ProbeOverlay() const {
+  OverlaySample sample;
+  sample.alive_peers = sessions_.size();
+  std::vector<uint64_t> dir_loads;
+  // Petal sizes keyed by (website, locality); an ordered map is not needed
+  // for determinism (DistSummary sorts the values), but costs nothing.
+  std::map<std::pair<WebsiteId, LocalityId>, uint64_t> petal_sizes;
+  for (const auto& [peer, session] : sessions_) {
+    switch (session->role()) {
+      case FlowerRole::kClient:
+        ++sample.clients;
+        break;
+      case FlowerRole::kContentPeer:
+        ++sample.content_peers;
+        ++petal_sizes[{session->website(), session->locality()}];
+        break;
+      case FlowerRole::kDirectoryPeer:
+        ++sample.directory_peers;
+        dir_loads.push_back(session->view().size());
+        sample.max_instance =
+            std::max(sample.max_instance, session->instance());
+        break;
+    }
+  }
+  std::vector<uint64_t> petals;
+  petals.reserve(petal_sizes.size());
+  for (const auto& [key, size] : petal_sizes) petals.push_back(size);
+  sample.directory_load = DistSummary::FromValues(std::move(dir_loads));
+  sample.petal_size = DistSummary::FromValues(std::move(petals));
+  return sample;
 }
 
 void FlowerSystem::OnArrival(PeerId peer) {

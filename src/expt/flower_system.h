@@ -8,6 +8,7 @@
 #include "expt/env.h"
 #include "flower/dring.h"
 #include "flower/flower_peer.h"
+#include "obs/sampler.h"
 
 namespace flowercdn {
 
@@ -36,6 +37,12 @@ class FlowerSystem {
   const std::vector<LoadSample>& load_samples() const {
     return load_samples_;
   }
+
+  /// Hourly overlay snapshots (config.stats_interval): role census,
+  /// directory-load and petal-size distributions.
+  const std::vector<OverlaySample>& overlay_samples() const;
+  /// One overlay snapshot of the current state; public for tests.
+  OverlaySample ProbeOverlay() const;
 
   /// Aggregate protocol counters (live sessions + departed sessions).
   struct Stats {
@@ -109,6 +116,7 @@ class FlowerSystem {
 
   std::vector<LoadSample> load_samples_;
   SimDuration load_sample_period_ = 30 * kMinute;
+  std::unique_ptr<OverlaySampler> overlay_sampler_;
 };
 
 }  // namespace flowercdn

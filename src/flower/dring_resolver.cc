@@ -21,7 +21,8 @@ void DRingResolver::Resolve(PeerId via, ChordId key, SimDuration timeout,
   pending.cb = std::move(cb);
   pending.timeout_event = network_->SchedulePeer(
       self_, incarnation_, timeout, [this, lookup_id]() {
-        Complete(lookup_id, Status::TimedOut("D-ring lookup"), RingPeer{});
+        Complete(lookup_id, Status::TimedOut("D-ring lookup"), RingPeer{},
+                 /*hops=*/-1);
       });
   pending_.emplace(lookup_id, std::move(pending));
 
@@ -37,7 +38,7 @@ void DRingResolver::Resolve(PeerId via, ChordId key, SimDuration timeout,
               if (status.ok()) return;  // acked; the answer will be routed
               Complete(lookup_id,
                        Status::Unavailable("D-ring bootstrap unreachable"),
-                       RingPeer{});
+                       RingPeer{}, /*hops=*/-1);
             });
 }
 
@@ -48,18 +49,18 @@ bool DRingResolver::HandleMessage(MessagePtr& msg) {
   if (pending_.find(result.lookup_id) == pending_.end()) {
     return false;  // not one of ours (e.g. the host's ChordNode owns it)
   }
-  Complete(result.lookup_id, Status::OK(), result.owner);
+  Complete(result.lookup_id, Status::OK(), result.owner, result.hops);
   return true;
 }
 
 void DRingResolver::Complete(uint64_t lookup_id, const Status& status,
-                             RingPeer owner) {
+                             RingPeer owner, int hops) {
   auto it = pending_.find(lookup_id);
   if (it == pending_.end()) return;
   network_->sim()->Cancel(it->second.timeout_event);
   Callback cb = std::move(it->second.cb);
   pending_.erase(it);
-  cb(status, owner);
+  cb(status, owner, hops);
 }
 
 }  // namespace flowercdn

@@ -17,7 +17,10 @@ namespace flowercdn {
 /// submits its query to D-ring" (paper §3.2) without being part of the DHT.
 class DRingResolver {
  public:
-  using Callback = std::function<void(const Status& status, RingPeer owner)>;
+  /// `hops` is the Chord routing hop count of the lookup (-1 when the
+  /// lookup failed before an answer was routed back).
+  using Callback =
+      std::function<void(const Status& status, RingPeer owner, int hops)>;
 
   DRingResolver(Network* network, PeerId self);
   DRingResolver(const DRingResolver&) = delete;
@@ -36,7 +39,8 @@ class DRingResolver {
   size_t pending() const { return pending_.size(); }
 
  private:
-  void Complete(uint64_t lookup_id, const Status& status, RingPeer owner);
+  void Complete(uint64_t lookup_id, const Status& status, RingPeer owner,
+                int hops);
 
   struct Pending {
     Callback cb;

@@ -82,6 +82,17 @@ PeerId FlowerPeer::PickBootstrap() {
                                    : kInvalidPeer;
 }
 
+void FlowerPeer::TraceSpan(uint64_t trace_id, QueryPhase phase, SimTime start,
+                           PeerId target, int hops, bool ok) {
+  if (ctx_.trace == nullptr || trace_id == 0) return;
+  ctx_.trace->AddSpan(trace_id, phase, start, ctx_.network->sim()->now(),
+                      target, hops, ok);
+}
+
+void FlowerPeer::CountEvent(std::string_view name) {
+  if (ctx_.stats != nullptr) ctx_.stats->Add(name);
+}
+
 // --- Session entry points ------------------------------------------------------
 
 void FlowerPeer::StartAsClient() {
@@ -196,6 +207,12 @@ void FlowerPeer::IssueQuery() {
   q.object = *object;
   q.has_object = true;
   q.t0 = ctx_.network->sim()->now();
+  if (ctx_.trace != nullptr) {
+    q.trace_id =
+        ctx_.trace->BeginQuery(self_, q.object.website, q.object.object, q.t0,
+                               /*from_new_client=*/role_ ==
+                                   FlowerRole::kClient);
+  }
   switch (role_) {
     case FlowerRole::kClient:
       q.via_dring = true;
@@ -231,9 +248,13 @@ void FlowerPeer::ResolveViaDRing(QueryState q) {
     return;
   }
   ChordId target = ctx_.keyspace->IdOf(website_, locality_, 0);
+  SimTime span_start = ctx_.network->sim()->now();
   resolver_.Resolve(
       bootstrap, target, ctx_.params->chord.lookup_timeout,
-      [this, q](const Status& status, RingPeer owner) mutable {
+      [this, q, bootstrap, span_start](const Status& status, RingPeer owner,
+                                       int hops) mutable {
+        TraceSpan(q.trace_id, QueryPhase::kDRingResolve, span_start,
+                  status.ok() ? owner.peer : bootstrap, hops, status.ok());
         if (!status.ok()) {
           ++dring_resolve_failures_;
           if (q.dring_attempts < ctx_.params->max_client_lookup_attempts) {
@@ -256,9 +277,12 @@ void FlowerPeer::SendDirQuery(PeerId dir, QueryState q, bool wants_join) {
   if (q.has_object) msg->object = q.object;
   msg->wants_join = wants_join;
   msg->scan_hops = q.scan_hops;
+  SimTime span_start = ctx_.network->sim()->now();
   rpc_.Call(dir, std::move(msg), ctx_.params->rpc_timeout,
-            [this, dir, q, wants_join](const Status& status,
-                                       MessagePtr resp) mutable {
+            [this, dir, q, wants_join, span_start](const Status& status,
+                                                   MessagePtr resp) mutable {
+              TraceSpan(q.trace_id, QueryPhase::kDirQuery, span_start, dir,
+                        /*hops=*/-1, status.ok());
               if (!status.ok()) {
                 ++dir_query_timeouts_;
                 if (role_ == FlowerRole::kClient) {
@@ -363,11 +387,16 @@ void FlowerPeer::TrySummaryCandidates(QueryState q,
   PeerId provider = candidates[index];
   auto msg = std::make_unique<FlowerFetchMsg>();
   msg->object = q.object;
+  SimTime span_start = ctx_.network->sim()->now();
   rpc_.Call(provider, std::move(msg), ctx_.params->rpc_timeout,
-            [this, q, candidates = std::move(candidates), index, provider](
-                const Status& status, MessagePtr resp) mutable {
-              if (status.ok() &&
-                  MessageCast<FlowerFetchReplyMsg>(*resp).has_object) {
+            [this, q, candidates = std::move(candidates), index, provider,
+             span_start](const Status& status, MessagePtr resp) mutable {
+              bool served = status.ok() &&
+                            MessageCast<FlowerFetchReplyMsg>(*resp)
+                                .has_object;
+              TraceSpan(q.trace_id, QueryPhase::kSummaryProbe, span_start,
+                        provider, /*hops=*/-1, served);
+              if (served) {
                 ++summary_hits_;
                 FinishQuery(q, /*hit=*/true, ctx_.network->sim()->now(),
                             ctx_.network->LatencyMs(self_, provider));
@@ -403,8 +432,13 @@ void FlowerPeer::ResolveAsDirectory(QueryState q) {
     if (neighbor.has_value()) {
       auto probe = std::make_unique<FlowerDirProbeMsg>();
       probe->object = q.object;
+      PeerId probed = *neighbor;
+      SimTime span_start = ctx_.network->sim()->now();
       rpc_.Call(*neighbor, std::move(probe), ctx_.params->rpc_timeout,
-                [this, q](const Status& status, MessagePtr resp) mutable {
+                [this, q, probed, span_start](const Status& status,
+                                              MessagePtr resp) mutable {
+                  TraceSpan(q.trace_id, QueryPhase::kDirQuery, span_start,
+                            probed, /*hops=*/-1, status.ok());
                   if (status.ok()) {
                     const auto& reply =
                         MessageCast<FlowerDirProbeReplyMsg>(*resp);
@@ -429,12 +463,15 @@ void FlowerPeer::FetchFrom(PeerId provider, QueryState q) {
   }
   auto msg = std::make_unique<FlowerFetchMsg>();
   msg->object = q.object;
+  SimTime span_start = ctx_.network->sim()->now();
   rpc_.Call(provider, std::move(msg), ctx_.params->rpc_timeout,
-            [this, q, provider](const Status& status,
-                                MessagePtr resp) mutable {
+            [this, q, provider, span_start](const Status& status,
+                                            MessagePtr resp) mutable {
               bool served = status.ok() &&
                             MessageCast<FlowerFetchReplyMsg>(*resp)
                                 .has_object;
+              TraceSpan(q.trace_id, QueryPhase::kFetch, span_start, provider,
+                        /*hops=*/-1, served);
               if (served) {
                 FinishQuery(q, /*hit=*/true, ctx_.network->sim()->now(),
                             ctx_.network->LatencyMs(self_, provider));
@@ -448,6 +485,10 @@ void FlowerPeer::ResolveAtOrigin(QueryState q) {
   if (!q.has_object) return;
   Coord here = ctx_.network->CoordOf(self_);
   double distance = ctx_.origins->DistanceMs(here, q.object.website);
+  // Origin fetch is modeled as pure distance, not simulated time — the span
+  // is zero-length and marks when the overlay gave up.
+  TraceSpan(q.trace_id, QueryPhase::kOrigin, ctx_.network->sim()->now(),
+            kInvalidPeer);
   FinishQuery(q, /*hit=*/false, ctx_.network->sim()->now(), distance);
 }
 
@@ -462,6 +503,9 @@ void FlowerPeer::FinishQuery(const QueryState& q, bool hit,
   record.transfer_distance_ms = transfer_distance_ms;
   record.from_new_client = q.via_dring;
   if (ctx_.metrics != nullptr) ctx_.metrics->RecordQuery(record);
+  if (ctx_.trace != nullptr && q.trace_id != 0) {
+    ctx_.trace->EndQuery(q.trace_id, resolved_at, hit);
+  }
   store_->Insert(q.object);
   MaybePush();
   ScheduleNextQuery();
@@ -501,6 +545,7 @@ void FlowerPeer::ScheduleGossip(SimDuration delay) {
 }
 
 void FlowerPeer::GossipRound() {
+  CountEvent("flower.gossip.rounds");
   view_.AgeAll();
   ++dir_info_.age;
   std::optional<Contact> partner = view_.Oldest();
@@ -536,6 +581,7 @@ void FlowerPeer::ScheduleKeepalive(SimDuration delay) {
 }
 
 void FlowerPeer::KeepaliveRound() {
+  CountEvent("flower.keepalive.rounds");
   if (dir_info_.dir == kInvalidPeer) {
     AttemptDirectoryClaim(dir_info_.instance);
     return;
@@ -571,6 +617,7 @@ void FlowerPeer::DoPush() {
   if (role_ != FlowerRole::kContentPeer) return;
   if (dir_info_.dir == kInvalidPeer || push_in_flight_) return;
   push_in_flight_ = true;
+  CountEvent("flower.push.rounds");
   auto msg = std::make_unique<FlowerPushMsg>();
   msg->objects = store_->ObjectList();
   rpc_.Call(dir_info_.dir, std::move(msg), ctx_.params->rpc_timeout,
@@ -620,6 +667,7 @@ void FlowerPeer::ReconcileDirInfo(const DirInfo& theirs) {
 
 void FlowerPeer::OnDirectoryUnreachable() {
   ++dir_failures_detected_;
+  CountEvent("flower.dir_failures_detected");
   dir_info_.dir = kInvalidPeer;
   AttemptDirectoryClaim(dir_info_.instance);
 }
@@ -648,7 +696,7 @@ void FlowerPeer::AttemptDirectoryClaim(
   resolver_.Resolve(
       bootstrap, target, ctx_.params->chord.lookup_timeout,
       [this, instance, target, handoff = std::move(handoff)](
-          const Status& status, RingPeer owner) {
+          const Status& status, RingPeer owner, int /*hops*/) {
         if (!status.ok()) {
           claim_in_progress_ = false;
           return;  // retried at the next keepalive round
@@ -926,6 +974,7 @@ void FlowerPeer::TriggerPromotion() {
   if (!candidate.has_value()) return;
   promotion_triggered_at_ = now;
   ++promotions_triggered_;
+  CountEvent("flower.promotions");
   auto msg = std::make_unique<FlowerPromoteMsg>();
   msg->website = website_;
   msg->locality = locality_;

@@ -15,6 +15,8 @@
 #include "flower/params.h"
 #include "gossip/view.h"
 #include "metrics/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/rpc.h"
@@ -47,6 +49,11 @@ struct FlowerContext {
   const OriginServers* origins = nullptr;
   const DRingKeyspace* keyspace = nullptr;
   const FlowerParams* params = nullptr;
+  /// Query-lifecycle trace sink; nullptr disables span collection.
+  TraceCollector* trace = nullptr;
+  /// Named protocol-event counters (gossip rounds, promotions, ...);
+  /// nullptr disables them.
+  StatsRegistry* stats = nullptr;
   /// Synthetic keyword model for the semantic-search extension.
   KeywordModel keywords;
   /// Supplies a live D-ring member (!= self) for routing and joining, or
@@ -135,10 +142,17 @@ class FlowerPeer : public SimNode {
     bool via_dring = false;
     int dring_attempts = 0;
     int scan_hops = 0;
+    uint64_t trace_id = 0;  // 0 => untraced (join-only, or tracing off)
   };
 
   // --- Common plumbing -------------------------------------------------------
   void Attach();
+  /// Records a trace span that ends now; no-op when tracing is off or the
+  /// query is untraced (trace_id 0).
+  void TraceSpan(uint64_t trace_id, QueryPhase phase, SimTime start,
+                 PeerId target, int hops = -1, bool ok = true);
+  /// Bumps a named protocol counter when a stats registry is attached.
+  void CountEvent(std::string_view name);
   ChordNode* EnsureChord(ChordId ring_id);
   PeerId PickBootstrap();
   void StartAsDirectoryRetry(int instance, PeerId bootstrap);

@@ -1,0 +1,70 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+DistSummary DistSummary::FromValues(std::vector<uint64_t> values) {
+  DistSummary out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  uint64_t sum = 0;
+  for (uint64_t v : values) sum += v;
+  out.mean = static_cast<double>(sum) / static_cast<double>(values.size());
+  // Nearest-rank p95: smallest value with >= 95% of the population at or
+  // below it. Exact on the sorted data, no interpolation.
+  size_t rank = (values.size() * 95 + 99) / 100;  // ceil(0.95 * n)
+  out.p95 = values[rank - 1];
+  return out;
+}
+
+OverlaySampler::OverlaySampler(Simulator* sim, SimDuration interval)
+    : sim_(sim), interval_(interval) {
+  FLOWERCDN_CHECK(sim_ != nullptr);
+  FLOWERCDN_CHECK(interval_ > 0);
+}
+
+void OverlaySampler::Start(Probe probe) {
+  FLOWERCDN_CHECK(probe != nullptr);
+  FLOWERCDN_CHECK(probe_ == nullptr) << "sampler already started";
+  probe_ = std::move(probe);
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+void OverlaySampler::Tick() {
+  OverlaySample sample = probe_();
+  sample.time = sim_->now();
+  samples_.push_back(std::move(sample));
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+TrafficSampler::TrafficSampler(Simulator* sim, const Network* network,
+                               SimDuration interval)
+    : sim_(sim), network_(network), interval_(interval) {
+  FLOWERCDN_CHECK(sim_ != nullptr);
+  FLOWERCDN_CHECK(network_ != nullptr);
+  FLOWERCDN_CHECK(interval_ > 0);
+}
+
+void TrafficSampler::Start() {
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+void TrafficSampler::Tick() {
+  Point p;
+  p.time = sim_->now();
+  p.messages_sent = network_->messages_sent();
+  p.messages_dropped = network_->messages_dropped();
+  p.bytes_sent = network_->bytes_sent();
+  p.traffic = network_->traffic();
+  points_.push_back(p);
+  sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+}  // namespace flowercdn

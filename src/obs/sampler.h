@@ -1,0 +1,101 @@
+#ifndef FLOWERCDN_OBS_SAMPLER_H_
+#define FLOWERCDN_OBS_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace flowercdn {
+
+/// min/mean/max/p95 of a population of non-negative integer sizes (loads,
+/// petal sizes). p95 is the nearest-rank quantile of the sorted values —
+/// exact and deterministic, no interpolation.
+struct DistSummary {
+  size_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0;
+  uint64_t p95 = 0;
+
+  static DistSummary FromValues(std::vector<uint64_t> values);
+};
+
+/// One periodic snapshot of overlay state: who is alive in which role, how
+/// load spreads across directory instances, and how big petals are. The
+/// probe (FlowerSystem) fills it; Squirrel runs simply have none.
+struct OverlaySample {
+  SimTime time = 0;
+  size_t alive_peers = 0;
+  size_t clients = 0;
+  size_t content_peers = 0;
+  size_t directory_peers = 0;  // D-ring population
+  int max_instance = 0;
+  DistSummary directory_load;  // content peers registered per instance
+  DistSummary petal_size;      // content peers per (website, locality)
+};
+
+/// Invokes a probe every `interval` of simulated time (first at
+/// t = interval) and keeps the returned samples. The probe must be
+/// deterministic for the run to stay bit-reproducible.
+class OverlaySampler {
+ public:
+  using Probe = std::function<OverlaySample()>;
+
+  OverlaySampler(Simulator* sim, SimDuration interval);
+  OverlaySampler(const OverlaySampler&) = delete;
+  OverlaySampler& operator=(const OverlaySampler&) = delete;
+
+  void Start(Probe probe);
+
+  const std::vector<OverlaySample>& samples() const { return samples_; }
+  SimDuration interval() const { return interval_; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SimDuration interval_;
+  Probe probe_;
+  std::vector<OverlaySample> samples_;
+};
+
+/// Snapshots the network's cumulative per-family traffic counters every
+/// `interval`; consumers diff consecutive points to get bytes/messages per
+/// hour per protocol family — the paper's overhead-over-time view without
+/// any accounting on the Send() hot path beyond what Network already does.
+class TrafficSampler {
+ public:
+  struct Point {
+    SimTime time = 0;
+    uint64_t messages_sent = 0;
+    uint64_t messages_dropped = 0;
+    uint64_t bytes_sent = 0;
+    Network::TrafficBreakdown traffic;
+  };
+
+  TrafficSampler(Simulator* sim, const Network* network,
+                 SimDuration interval);
+  TrafficSampler(const TrafficSampler&) = delete;
+  TrafficSampler& operator=(const TrafficSampler&) = delete;
+
+  void Start();
+
+  const std::vector<Point>& points() const { return points_; }
+  SimDuration interval() const { return interval_; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  const Network* network_;
+  SimDuration interval_;
+  std::vector<Point> points_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_OBS_SAMPLER_H_

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kDRingResolve:
+      return "dring_resolve";
+    case QueryPhase::kDirQuery:
+      return "dir_query";
+    case QueryPhase::kSummaryProbe:
+      return "summary_probe";
+    case QueryPhase::kFetch:
+      return "fetch";
+    case QueryPhase::kOrigin:
+      return "origin";
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector(size_t max_queries)
+    : max_queries_(max_queries),
+      // 25 ms buckets to 2 s + overflow: fine enough to separate a one-hop
+      // redirect from a multi-hop DHT walk.
+      phase_latency_(kNumQueryPhases, Histogram(25.0, 80)),
+      dring_hops_(1.0, 32) {}
+
+uint64_t TraceCollector::BeginQuery(PeerId peer, WebsiteId website,
+                                    uint32_t object, SimTime now,
+                                    bool from_new_client) {
+  uint64_t id = next_id_++;
+  if (queries_.size() < max_queries_) {
+    Query q;
+    q.id = id;
+    q.peer = peer;
+    q.website = website;
+    q.object = object;
+    q.start = now;
+    q.end = now;
+    q.from_new_client = from_new_client;
+    queries_.push_back(q);
+  } else {
+    ++overflow_queries_;
+  }
+  return id;
+}
+
+void TraceCollector::AddSpan(uint64_t query, QueryPhase phase, SimTime start,
+                             SimTime end, PeerId target, int hops, bool ok) {
+  if (query == 0) return;
+  FLOWERCDN_CHECK(end >= start) << "span ends before it starts";
+  size_t p = static_cast<size_t>(phase);
+  FLOWERCDN_CHECK(p < kNumQueryPhases);
+  phase_latency_[p].Add(static_cast<double>(end - start));
+  if (phase == QueryPhase::kDRingResolve && hops >= 0) {
+    dring_hops_.Add(static_cast<double>(hops));
+  }
+  // Ids are dense from 1, so "stored" == "id fits the queries_ vector".
+  if (query > queries_.size()) return;
+  Span span;
+  span.query = query;
+  span.phase = phase;
+  span.start = start;
+  span.end = end;
+  span.peer = queries_[query - 1].peer;
+  span.target = target;
+  span.hops = hops;
+  span.ok = ok;
+  spans_.push_back(span);
+}
+
+void TraceCollector::EndQuery(uint64_t query, SimTime now, bool hit) {
+  if (query == 0 || query > queries_.size()) return;
+  Query& q = queries_[query - 1];
+  q.end = now;
+  q.hit = hit;
+  q.finished = true;
+}
+
+const Histogram& TraceCollector::phase_latency(QueryPhase phase) const {
+  size_t p = static_cast<size_t>(phase);
+  FLOWERCDN_CHECK(p < kNumQueryPhases);
+  return phase_latency_[p];
+}
+
+std::vector<TraceCollector::Span> TraceCollector::SpansOf(
+    uint64_t query) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.query == query) out.push_back(s);
+  }
+  return out;
+}
+
+namespace {
+
+/// One trace event line. All values are integers or fixed literals, so the
+/// output is byte-deterministic without a general JSON writer.
+void WriteEventPrefix(std::ostream& os, bool& first, const char* name,
+                      const char* cat, SimTime start, SimTime end,
+                      PeerId tid) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+     << "\",\"ph\":\"X\",\"ts\":" << start * 1000
+     << ",\"dur\":" << (end - start) * 1000 << ",\"pid\":1,\"tid\":" << tid;
+}
+
+}  // namespace
+
+void TraceCollector::WriteChromeTrace(std::ostream& os) const {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Process metadata so the viewer labels the track sensibly.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"flowercdn-sim\"}}";
+  first = false;
+  for (const Query& q : queries_) {
+    WriteEventPrefix(os, first, "query", "query", q.start, q.end, q.peer);
+    os << ",\"args\":{\"query\":" << q.id << ",\"website\":" << q.website
+       << ",\"object\":" << q.object
+       << ",\"new_client\":" << (q.from_new_client ? "true" : "false")
+       << ",\"hit\":" << (q.hit ? "true" : "false")
+       << ",\"finished\":" << (q.finished ? "true" : "false") << "}}";
+  }
+  for (const Span& s : spans_) {
+    WriteEventPrefix(os, first, QueryPhaseName(s.phase), "phase", s.start,
+                     s.end, s.peer);
+    os << ",\"args\":{\"query\":" << s.query << ",\"target\":" << s.target;
+    if (s.hops >= 0) os << ",\"hops\":" << s.hops;
+    os << ",\"ok\":" << (s.ok ? "true" : "false") << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Status TraceCollector::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path);
+  }
+  WriteChromeTrace(out);
+  out.flush();
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,113 @@
+#ifndef FLOWERCDN_OBS_TRACE_H_
+#define FLOWERCDN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "storage/object_id.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace flowercdn {
+
+/// Phases of a resolved client query, in protocol order. A query records
+/// one span per phase it actually passes through; DHT-routed queries start
+/// with kDRingResolve, petal-internal ones with kSummaryProbe.
+enum class QueryPhase : uint8_t {
+  kDRingResolve = 0,  // find-successor over the Chord D-ring
+  kDirQuery = 1,      // directory lookup (one span per redirect hop)
+  kSummaryProbe = 2,  // gossip-summary candidate probe inside the petal
+  kFetch = 3,         // provider confirmation / transfer initiation
+  kOrigin = 4,        // fallback to the origin web server
+};
+
+constexpr size_t kNumQueryPhases = 5;
+
+const char* QueryPhaseName(QueryPhase phase);
+
+/// Collects query-lifecycle traces: per-query spans (who, which phase,
+/// when, toward whom, how many DHT hops) plus always-on per-phase latency
+/// histograms. Bounded memory: past `max_queries` new queries still feed
+/// the histograms but their spans are no longer stored.
+///
+/// Exports the Chrome trace-event format (chrome://tracing, Perfetto):
+/// pid 1 is the deployment, tid is the querying peer, one complete ("X")
+/// event per query and per span.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t max_queries = 200000);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  struct Query {
+    uint64_t id = 0;
+    PeerId peer = kInvalidPeer;
+    WebsiteId website = 0;
+    uint32_t object = 0;
+    SimTime start = 0;
+    SimTime end = 0;
+    bool from_new_client = false;
+    bool hit = false;
+    bool finished = false;
+  };
+
+  struct Span {
+    uint64_t query = 0;
+    QueryPhase phase = QueryPhase::kDRingResolve;
+    SimTime start = 0;
+    SimTime end = 0;
+    PeerId peer = kInvalidPeer;    // issuer
+    PeerId target = kInvalidPeer;  // bootstrap / directory / provider
+    int hops = -1;                 // Chord hop count (kDRingResolve only)
+    bool ok = true;                // false: timeout / refusal on this hop
+  };
+
+  /// Starts a query trace; returns its id (never 0). Pass the id to
+  /// AddSpan/EndQuery. Query `max_queries+1` onward is histogram-only.
+  uint64_t BeginQuery(PeerId peer, WebsiteId website, uint32_t object,
+                      SimTime now, bool from_new_client);
+
+  /// Records one phase span. `query` 0 (untraced caller) is a no-op; ids
+  /// past the storage cap update the phase histograms only.
+  void AddSpan(uint64_t query, QueryPhase phase, SimTime start, SimTime end,
+               PeerId target, int hops = -1, bool ok = true);
+
+  /// Marks the query resolved. Queries never finished (peer died mid-query)
+  /// keep finished == false and are exported with zero duration.
+  void EndQuery(uint64_t query, SimTime now, bool hit);
+
+  const std::vector<Query>& queries() const { return queries_; }
+  const std::vector<Span>& spans() const { return spans_; }
+  /// Queries that exceeded the storage cap (histograms still saw them).
+  uint64_t overflow_queries() const { return overflow_queries_; }
+
+  /// Per-phase latency distribution across every span (stored or not).
+  const Histogram& phase_latency(QueryPhase phase) const;
+  /// Chord hop-count distribution of kDRingResolve spans.
+  const Histogram& dring_hops() const { return dring_hops_; }
+
+  /// Spans of one query, in recording (= completion) order.
+  std::vector<Span> SpansOf(uint64_t query) const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...], ...}); timestamps are
+  /// microseconds of simulated time. Deterministic: events appear in
+  /// recording order.
+  void WriteChromeTrace(std::ostream& os) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  size_t max_queries_;
+  uint64_t next_id_ = 1;
+  uint64_t overflow_queries_ = 0;
+  std::vector<Query> queries_;  // queries_[i].id == i + 1
+  std::vector<Span> spans_;
+  std::vector<Histogram> phase_latency_;
+  Histogram dring_hops_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_OBS_TRACE_H_

@@ -140,6 +140,7 @@ void WriteHistogram(JsonWriter& w, const Histogram& h) {
   w.Key("mean").Value(h.Mean());
   w.Key("p50").Value(h.Quantile(0.5));
   w.Key("p95").Value(h.Quantile(0.95));
+  w.Key("p99").Value(h.Quantile(0.99));
   // counts[i] covers [i*w, (i+1)*w); the trailing slot is the overflow.
   w.Key("counts").BeginArray();
   for (size_t b = 0; b < h.num_buckets(); ++b) {
@@ -147,6 +148,107 @@ void WriteHistogram(JsonWriter& w, const Histogram& h) {
   }
   w.EndArray();
   w.EndObject();
+}
+
+using TrafficFamily = Network::TrafficBreakdown::Family;
+using FamilyMember = TrafficFamily Network::TrafficBreakdown::*;
+
+/// One protocol family of the "overhead" section: cumulative totals plus
+/// per-bucket rates derived by diffing the sampler's cumulative snapshots.
+void WriteTrafficFamily(JsonWriter& w, const char* name,
+                        const TrafficFamily& total,
+                        const std::vector<TrafficSampler::Point>& series,
+                        FamilyMember member) {
+  w.Key(name).BeginObject();
+  w.Key("messages").Value(total.messages);
+  w.Key("bytes").Value(total.bytes);
+  // Cumulative snapshots diffed into per-bucket deltas; a final partial
+  // bucket (interval not dividing the duration) carries the residual so
+  // the series always sums to the total.
+  w.Key("messages_per_bucket").BeginArray();
+  uint64_t prev = 0;
+  for (const TrafficSampler::Point& p : series) {
+    uint64_t cur = (p.traffic.*member).messages;
+    w.Value(cur - prev);
+    prev = cur;
+  }
+  if (total.messages > prev) w.Value(total.messages - prev);
+  w.EndArray();
+  w.Key("bytes_per_bucket").BeginArray();
+  prev = 0;
+  for (const TrafficSampler::Point& p : series) {
+    uint64_t cur = (p.traffic.*member).bytes;
+    w.Value(cur - prev);
+    prev = cur;
+  }
+  if (total.bytes > prev) w.Value(total.bytes - prev);
+  w.EndArray();
+  w.EndObject();
+}
+
+void WriteDistSummary(JsonWriter& w, const DistSummary& d) {
+  w.BeginObject();
+  w.Key("count").Value(static_cast<uint64_t>(d.count));
+  w.Key("min").Value(d.min);
+  w.Key("mean").Value(d.mean);
+  w.Key("max").Value(d.max);
+  w.Key("p95").Value(d.p95);
+  w.EndObject();
+}
+
+/// "overhead": protocol traffic split by family with per-bucket series,
+/// plus every named stats-registry counter. The paper's overhead argument
+/// (bandwidth, not just message counts) in machine-readable form.
+void WriteOverhead(JsonWriter& w, const ExperimentResult& r) {
+  w.Key("overhead").BeginObject();
+  w.Key("bucket_ms").Value(static_cast<uint64_t>(r.stats_interval));
+  w.Key("families").BeginObject();
+  WriteTrafficFamily(w, "chord", r.traffic.chord, r.traffic_series,
+                     &Network::TrafficBreakdown::chord);
+  WriteTrafficFamily(w, "gossip", r.traffic.gossip, r.traffic_series,
+                     &Network::TrafficBreakdown::gossip);
+  WriteTrafficFamily(w, "flower", r.traffic.flower, r.traffic_series,
+                     &Network::TrafficBreakdown::flower);
+  WriteTrafficFamily(w, "squirrel", r.traffic.squirrel, r.traffic_series,
+                     &Network::TrafficBreakdown::squirrel);
+  WriteTrafficFamily(w, "other", r.traffic.other, r.traffic_series,
+                     &Network::TrafficBreakdown::other);
+  WriteTrafficFamily(w, "dropped", r.traffic.dropped, r.traffic_series,
+                     &Network::TrafficBreakdown::dropped);
+  w.EndObject();
+  w.Key("counters").BeginArray();
+  for (const StatsRegistry::CounterSnapshot& c : r.stat_counters) {
+    w.BeginObject();
+    w.Key("name").Value(c.name);
+    w.Key("total").Value(c.total);
+    w.Key("per_bucket").BeginArray();
+    for (uint64_t v : c.series) w.Value(v);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+/// "overlay": periodic overlay-state snapshots — role census, directory
+/// load distribution and petal-size distribution per sampling interval.
+void WriteOverlay(JsonWriter& w, const ExperimentResult& r) {
+  w.Key("overlay").BeginArray();
+  for (const OverlaySample& s : r.overlay_samples) {
+    w.BeginObject();
+    w.Key("t_ms").Value(static_cast<uint64_t>(s.time));
+    w.Key("alive").Value(static_cast<uint64_t>(s.alive_peers));
+    w.Key("clients").Value(static_cast<uint64_t>(s.clients));
+    w.Key("content_peers").Value(static_cast<uint64_t>(s.content_peers));
+    w.Key("directories").Value(static_cast<uint64_t>(s.directory_peers));
+    w.Key("max_instance").Value(static_cast<uint64_t>(s.max_instance));
+    w.Key("dir_load");
+    WriteDistSummary(w, s.directory_load);
+    w.Key("petal_size");
+    WriteDistSummary(w, s.petal_size);
+    w.EndObject();
+  }
+  w.EndArray();
 }
 
 void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
@@ -170,6 +272,8 @@ void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
   w.Key("cumulative_hit_ratio").BeginArray();
   for (double v : r.cumulative_hit_ratio) w.Value(v);
   w.EndArray();
+  WriteOverhead(w, r);
+  WriteOverlay(w, r);
   w.EndObject();
 }
 
@@ -234,7 +338,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     bool include_trials) {
   JsonWriter w(os);
   w.BeginObject();
-  w.Key("schema").Value("flowercdn-runner/v1");
+  w.Key("schema").Value("flowercdn-runner/v2");
   w.Key("base_seed").Value(base_seed);
   w.Key("cells").BeginArray();
   for (const CellResult& cell : cells) {

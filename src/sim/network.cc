@@ -74,29 +74,35 @@ void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
   msg->src = src;
   msg->dst = dst;
   ++messages_sent_;
-  bytes_sent_ += msg->SizeBytes();
+  size_t size = msg->SizeBytes();
+  bytes_sent_ += size;
+  TrafficBreakdown::Family* family = nullptr;
   if (msg->type >= kChordMessageBase && msg->type < kChordMessageBase + 100) {
-    ++traffic_.chord_messages;
+    family = &traffic_.chord;
   } else if (msg->type >= kGossipMessageBase &&
              msg->type < kGossipMessageBase + 100) {
-    ++traffic_.gossip_messages;
+    family = &traffic_.gossip;
   } else if (msg->type >= kFlowerMessageBase &&
              msg->type < kFlowerMessageBase + 100) {
-    ++traffic_.flower_messages;
+    family = &traffic_.flower;
   } else if (msg->type >= kSquirrelMessageBase &&
              msg->type < kSquirrelMessageBase + 100) {
-    ++traffic_.squirrel_messages;
+    family = &traffic_.squirrel;
   } else {
-    ++traffic_.other_messages;
+    family = &traffic_.other;
   }
+  ++family->messages;
+  family->bytes += size;
   double latency = LatencyMs(src, dst);
   // Shared-pointer shim so the closure stays copyable (std::function).
   sim_->Schedule(
       static_cast<SimDuration>(latency),
-      [this, dst, msg = std::move(msg)]() mutable {
+      [this, dst, size, msg = std::move(msg)]() mutable {
         auto it = identities_.find(dst);
         if (it == identities_.end() || it->second.node == nullptr) {
           ++messages_dropped_;  // receiver failed mid-flight
+          ++traffic_.dropped.messages;
+          traffic_.dropped.bytes += size;
           if (msg->rpc_id != 0 && !msg->is_response) {
             // Connection-refused semantics: bounce a transport NACK to the
             // caller so it detects the dead peer in one round trip.

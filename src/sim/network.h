@@ -77,13 +77,23 @@ class Network {
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
-  /// Traffic split by protocol family (message-type range).
+  /// Traffic split by protocol family (message-type range). Each family
+  /// accounts both messages and bytes (headers included) so overhead can be
+  /// reported in the paper's bandwidth terms, not just message counts.
   struct TrafficBreakdown {
-    uint64_t chord_messages = 0;
-    uint64_t gossip_messages = 0;
-    uint64_t flower_messages = 0;
-    uint64_t squirrel_messages = 0;
-    uint64_t other_messages = 0;  // transport NACKs, test traffic
+    struct Family {
+      uint64_t messages = 0;
+      uint64_t bytes = 0;
+    };
+    Family chord;
+    Family gossip;
+    Family flower;
+    Family squirrel;
+    Family other;  // transport NACKs, test traffic
+    /// Messages lost to a dead receiver. Counted at drop time in addition
+    /// to the send-time family counters above (a dropped chord message
+    /// appears in both `chord` and `dropped`).
+    Family dropped;
   };
   const TrafficBreakdown& traffic() const { return traffic_; }
 

@@ -4,6 +4,16 @@
 
 namespace flowercdn {
 
+Simulator::Simulator() {
+  SetLogTimeSource(
+      [](const void* ctx) {
+        return static_cast<const Simulator*>(ctx)->now();
+      },
+      this);
+}
+
+Simulator::~Simulator() { ClearLogTimeSource(this); }
+
 void Simulator::Run() {
   while (Step()) {
   }

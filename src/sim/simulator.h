@@ -16,7 +16,10 @@ namespace flowercdn {
 /// PeerSim event-driven model the paper's evaluation uses.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Construction installs this simulator's clock as the thread's log time
+  /// source, so log lines carry simulated time while the run is active.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

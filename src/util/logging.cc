@@ -9,6 +9,9 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarning;
 
+thread_local LogTimeFn t_time_fn = nullptr;
+thread_local const void* t_time_ctx = nullptr;
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace:
@@ -32,6 +35,18 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+void SetLogTimeSource(LogTimeFn fn, const void* ctx) {
+  t_time_fn = fn;
+  t_time_ctx = ctx;
+}
+
+void ClearLogTimeSource(const void* ctx) {
+  if (t_time_ctx == ctx) {
+    t_time_fn = nullptr;
+    t_time_ctx = nullptr;
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,7 +58,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level);
+    if (t_time_fn != nullptr) {
+      stream_ << " " << t_time_fn(t_time_ctx) << "ms";
+    }
+    stream_ << " " << base << ":" << line << "] ";
   }
 }
 

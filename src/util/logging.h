@@ -23,6 +23,16 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Optional simulated-time source for log prefixes. When installed, every
+/// log line carries the current virtual time, e.g. "[INFO 3600000ms ...]".
+/// The hook is thread_local so each parallel trial worker sees only its own
+/// simulator's clock. The Simulator installs/clears itself automatically.
+using LogTimeFn = int64_t (*)(const void* ctx);
+void SetLogTimeSource(LogTimeFn fn, const void* ctx);
+/// Clears the source, but only if `ctx` is the one installed (so a nested
+/// or stale simulator cannot tear down the active one's hook).
+void ClearLogTimeSource(const void* ctx);
+
 namespace internal {
 
 /// Stream-style log sink: accumulates a line and emits it on destruction.

@@ -90,8 +90,9 @@ TEST_F(DRingResolverTest, ResolvesThroughBootstrap) {
     ChordId key = keys.Next();
     client->resolver().Resolve(
         /*via=*/5, key, 6 * kSecond,
-        [&, key](const Status& status, RingPeer owner) {
+        [&, key](const Status& status, RingPeer owner, int hops) {
           ASSERT_TRUE(status.ok()) << status.ToString();
+          EXPECT_GE(hops, 0) << "routed answers must report their hop count";
           // Verify ground truth: owner must be the clockwise-closest node.
           ChordId best = 0;
           PeerId expected = kInvalidPeer;
@@ -119,9 +120,10 @@ TEST_F(DRingResolverTest, DeadBootstrapFailsFast) {
   SimTime started_at = sim_.now();
   SimTime completed_at = 0;
   client->resolver().Resolve(3, 12345, 30 * kSecond,
-                             [&](const Status& status, RingPeer) {
+                             [&](const Status& status, RingPeer, int hops) {
                                result = status;
                                completed_at = sim_.now();
+                               EXPECT_EQ(hops, -1);
                              });
   sim_.RunUntil(sim_.now() + kMinute);
   EXPECT_TRUE(result.IsUnavailable()) << result.ToString();
@@ -135,7 +137,7 @@ TEST_F(DRingResolverTest, SilentRingTimesOut) {
   // Kill everyone after the bootstrap acks: the answer never arrives.
   Status result;
   client->resolver().Resolve(2, 999, 3 * kSecond,
-                             [&](const Status& status, RingPeer) {
+                             [&](const Status& status, RingPeer, int) {
                                result = status;
                              });
   // Let the request reach peer 2, then kill the whole ring.

@@ -1,0 +1,94 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/types.h"
+
+namespace flowercdn {
+namespace {
+
+TEST(StatsRegistryTest, LookupIsIdempotent) {
+  SimTime now = 0;
+  StatsRegistry registry([&now] { return now; });
+  StatsCounter* c = registry.counter("queries");
+  EXPECT_EQ(registry.counter("queries"), c);
+  EXPECT_EQ(c->name(), "queries");
+  EXPECT_EQ(c->total(), 0u);
+
+  StatsGauge* g = registry.gauge("ring_size");
+  EXPECT_EQ(registry.gauge("ring_size"), g);
+  // Counters and gauges live in separate namespaces.
+  EXPECT_NE(registry.counter("ring_size"), nullptr);
+}
+
+TEST(StatsRegistryTest, CounterBucketsFollowTheClock) {
+  SimTime now = 0;
+  StatsRegistry registry([&now] { return now; }, /*bucket=*/100);
+  StatsCounter* c = registry.counter("events");
+
+  c->Add();            // bucket 0
+  now = 99;
+  c->Add(2);           // still bucket 0
+  now = 100;
+  c->Add();            // bucket 1
+  now = 450;
+  c->Add(5);           // bucket 4 (buckets 2..3 stay zero)
+
+  EXPECT_EQ(c->total(), 9u);
+  ASSERT_EQ(c->series().size(), 5u);
+  EXPECT_EQ(c->series()[0], 3u);
+  EXPECT_EQ(c->series()[1], 1u);
+  EXPECT_EQ(c->series()[2], 0u);
+  EXPECT_EQ(c->series()[3], 0u);
+  EXPECT_EQ(c->series()[4], 5u);
+  EXPECT_EQ(registry.CurrentBucket(), 4u);
+}
+
+TEST(StatsRegistryTest, GaugeKeepsLastValuePerBucket) {
+  SimTime now = 0;
+  StatsRegistry registry([&now] { return now; }, /*bucket=*/10);
+  StatsGauge* g = registry.gauge("level");
+
+  g->Set(1.0);
+  g->Set(2.0);   // same bucket: overwrites
+  now = 25;
+  g->Set(7.5);   // bucket 2
+
+  EXPECT_DOUBLE_EQ(g->value(), 7.5);
+  ASSERT_EQ(g->series().size(), 3u);
+  EXPECT_DOUBLE_EQ(g->series()[0], 2.0);
+  EXPECT_DOUBLE_EQ(g->series()[2], 7.5);
+}
+
+TEST(StatsRegistryTest, SnapshotsAreSortedByName) {
+  SimTime now = 0;
+  StatsRegistry registry([&now] { return now; });
+  registry.Add("zeta", 3);
+  registry.Add("alpha");
+  registry.Add("mid", 2);
+  registry.Set("z_gauge", 1.0);
+  registry.Set("a_gauge", 2.0);
+
+  auto counters = registry.SnapshotCounters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].name, "alpha");
+  EXPECT_EQ(counters[1].name, "mid");
+  EXPECT_EQ(counters[2].name, "zeta");
+  EXPECT_EQ(counters[2].total, 3u);
+
+  auto gauges = registry.SnapshotGauges();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].name, "a_gauge");
+  EXPECT_EQ(gauges[1].name, "z_gauge");
+}
+
+TEST(StatsRegistryTest, ConvenienceFormsAccumulate) {
+  SimTime now = 0;
+  StatsRegistry registry([&now] { return now; });
+  registry.Add("n");
+  registry.Add("n", 4);
+  EXPECT_EQ(registry.counter("n")->total(), 5u);
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -249,13 +249,18 @@ TEST(JsonExportTest, SweepDocumentShape) {
   cell.aggregate = Aggregate(cell.trials);
 
   std::string json = SweepJsonString(42, {cell}, /*include_trials=*/true);
-  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v1\""),
+  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"base_seed\":42"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"flower\""), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":{\"n\":2,\"mean\":0.5"),
             std::string::npos);
   EXPECT_NE(json.find("\"trial_results\":["), std::string::npos);
+  // v2 additions: per-trial overhead/overlay sections and p99 quantiles.
+  EXPECT_NE(json.find("\"overhead\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"families\":{\"chord\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"overlay\":["), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 
   std::string no_trials = SweepJsonString(42, {cell}, false);
   EXPECT_EQ(no_trials.find("\"trial_results\""), std::string::npos);

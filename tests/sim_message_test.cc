@@ -83,12 +83,41 @@ TEST(NetworkTrafficTest, BytesAndCategoriesAreCounted) {
   sim.Run();
 
   EXPECT_EQ(net.bytes_sent(), 1050u);
-  EXPECT_EQ(net.traffic().chord_messages, 1u);
-  EXPECT_EQ(net.traffic().gossip_messages, 1u);
-  EXPECT_EQ(net.traffic().flower_messages, 1u);
-  EXPECT_EQ(net.traffic().squirrel_messages, 1u);
-  EXPECT_EQ(net.traffic().other_messages, 1u);
+  EXPECT_EQ(net.traffic().chord.messages, 1u);
+  EXPECT_EQ(net.traffic().chord.bytes, 100u);
+  EXPECT_EQ(net.traffic().gossip.messages, 1u);
+  EXPECT_EQ(net.traffic().gossip.bytes, 200u);
+  EXPECT_EQ(net.traffic().flower.messages, 1u);
+  EXPECT_EQ(net.traffic().flower.bytes, 300u);
+  EXPECT_EQ(net.traffic().squirrel.messages, 1u);
+  EXPECT_EQ(net.traffic().squirrel.bytes, 400u);
+  EXPECT_EQ(net.traffic().other.messages, 1u);
+  EXPECT_EQ(net.traffic().other.bytes, 50u);
+  EXPECT_EQ(net.traffic().dropped.messages, 0u);
   EXPECT_EQ(net.messages_delivered(), 5u);
+}
+
+TEST(NetworkTrafficTest, DroppedMessageBytesAreCounted) {
+  Simulator sim;
+  Topology topo{Topology::Params{}};
+  Network net(&sim, &topo);
+  Rng rng(1);
+  net.RegisterIdentity(1, topo.PlaceInLocality(0, rng));
+  net.RegisterIdentity(2, topo.PlaceInLocality(1, rng));
+  SinkNode a, b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+
+  net.Send(1, 2, std::make_unique<SizedMsg>(kChordMessageBase + 1, 128));
+  net.Detach(2);  // receiver fails while the message is in flight
+  sim.Run();
+
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.traffic().dropped.messages, 1u);
+  EXPECT_EQ(net.traffic().dropped.bytes, 128u);
+  // The send-side family accounting still saw the message.
+  EXPECT_EQ(net.traffic().chord.messages, 1u);
+  EXPECT_EQ(net.traffic().chord.bytes, 128u);
 }
 
 }  // namespace

@@ -48,6 +48,13 @@ void Usage(const char* argv0) {
                "  --json-out=PATH       write runner JSON (per-trial + "
                "aggregate)\n"
                "  --json-aggregate-only omit per-trial results from the JSON\n"
+               "  --trace-out=PATH      record query-lifecycle spans and "
+               "write\n"
+               "                        Chrome trace-event JSON "
+               "(chrome://tracing,\n"
+               "                        Perfetto; single-trial runs only)\n"
+               "  --stats-interval=MIN  overlay/traffic sampling period in\n"
+               "                        simulated minutes (default 60)\n"
                "  --csv=PREFIX          write PREFIX.{timeseries,lookup,"
                "transfer}.csv\n"
                "                        (single-trial runs only)\n"
@@ -111,10 +118,27 @@ void PrintSingleRunTable(const CellResult& cell) {
                 FormatDouble(r.lookup_hits.Mean(), 1)});
   table.AddRow({"mean transfer, hits (ms)",
                 FormatDouble(r.mean_transfer_hits_ms, 1)});
+  table.AddRow({"lookup p95 (ms)", FormatDouble(r.lookup_all.Quantile(0.95),
+                                                1)});
+  table.AddRow({"lookup p99 (ms)", FormatDouble(r.lookup_all.Quantile(0.99),
+                                                1)});
   table.AddRow({"messages sent", std::to_string(r.messages_sent)});
   table.AddRow({"traffic (MB)",
                 FormatDouble(static_cast<double>(r.bytes_sent) / 1048576.0,
                              1)});
+  auto family_row = [&table](const char* name,
+                             const Network::TrafficBreakdown::Family& f) {
+    table.AddRow({name, std::to_string(f.messages) + " msgs / " +
+                            FormatDouble(static_cast<double>(f.bytes) /
+                                             1048576.0,
+                                         1) +
+                            " MB"});
+  };
+  family_row("  chord traffic", r.traffic.chord);
+  family_row("  gossip traffic", r.traffic.gossip);
+  family_row("  flower traffic", r.traffic.flower);
+  family_row("  squirrel traffic", r.traffic.squirrel);
+  family_row("  dropped traffic", r.traffic.dropped);
   table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
   table.AddRow({"churn failures", std::to_string(r.churn_failures)});
   table.AddRow({"sim events", std::to_string(r.events_processed)});
@@ -129,6 +153,28 @@ void PrintSingleRunTable(const CellResult& cell) {
   table.Print(std::cout);
 }
 
+/// Per-phase latency breakdown from the query-lifecycle traces.
+void PrintPhaseBreakdown(const TraceCollector& trace) {
+  std::printf("\nQuery phase latency breakdown (traced spans):\n");
+  TablePrinter table({"phase", "spans", "mean_ms", "p95_ms", "p99_ms"});
+  for (size_t p = 0; p < kNumQueryPhases; ++p) {
+    QueryPhase phase = static_cast<QueryPhase>(p);
+    const Histogram& h = trace.phase_latency(phase);
+    table.AddRow({QueryPhaseName(phase),
+                  std::to_string(static_cast<uint64_t>(h.count())),
+                  FormatDouble(h.Mean(), 1),
+                  FormatDouble(h.Quantile(0.95), 1),
+                  FormatDouble(h.Quantile(0.99), 1)});
+  }
+  table.Print(std::cout);
+  const Histogram& hops = trace.dring_hops();
+  if (hops.count() > 0) {
+    std::printf("D-ring lookups: %llu, mean %.2f hops, p95 %.1f hops\n",
+                static_cast<unsigned long long>(hops.count()), hops.Mean(),
+                hops.Quantile(0.95));
+  }
+}
+
 std::string PlusMinus(const MetricSummary& s, int digits) {
   std::string out = FormatDouble(s.mean, digits);
   if (s.n > 1) out += " ±" + FormatDouble(s.ci95_half, digits);
@@ -138,11 +184,14 @@ std::string PlusMinus(const MetricSummary& s, int digits) {
 /// Aggregate report: one row per sweep cell, mean ±95% CI.
 void PrintAggregateTable(const std::vector<CellResult>& cells) {
   TablePrinter table({"configuration", "trials", "hit_ratio", "lookup_ms",
-                      "lookup_hits_ms", "transfer_hits_ms", "queries"});
+                      "lookup_p95", "lookup_p99", "lookup_hits_ms",
+                      "transfer_hits_ms", "queries"});
   for (const CellResult& cell : cells) {
     const AggregateResult& a = cell.aggregate;
     table.AddRow({cell.label, std::to_string(a.trials),
                   PlusMinus(a.hit_ratio, 3), PlusMinus(a.mean_lookup_ms, 0),
+                  FormatDouble(a.lookup_all.Quantile(0.95), 0),
+                  FormatDouble(a.lookup_all.Quantile(0.99), 0),
                   PlusMinus(a.mean_lookup_hits_ms, 0),
                   PlusMinus(a.mean_transfer_hits_ms, 0),
                   PlusMinus(a.total_queries, 0)});
@@ -158,6 +207,7 @@ int main(int argc, char** argv) {
   std::string csv_prefix;
   std::string sweep_spec;
   std::string json_out;
+  std::string trace_out;
   bool json_include_trials = true;
   long long trials = 1;
   long long jobs = 0;
@@ -214,6 +264,15 @@ int main(int argc, char** argv) {
       sweep_spec = arg + 8;
     } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
       json_out = arg + 11;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+      config.collect_traces = true;
+    } else if (ParseFlag(arg, "--stats-interval", &value)) {
+      if (value < 1) {
+        Usage(argv[0]);
+        return 2;
+      }
+      config.stats_interval = value * kMinute;
     } else if (std::strcmp(arg, "--json-aggregate-only") == 0) {
       json_include_trials = false;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
@@ -266,12 +325,33 @@ int main(int argc, char** argv) {
                   ".csv\n",
                   csv_prefix.c_str());
     }
+    const ExperimentResult& r = cells[0].trials[0];
+    if (r.trace != nullptr) {
+      PrintPhaseBreakdown(*r.trace);
+      if (!trace_out.empty()) {
+        Status s = r.trace->WriteChromeTraceFile(trace_out);
+        if (!s.ok()) {
+          std::fprintf(stderr, "%s\n", s.ToString().c_str());
+          return 1;
+        }
+        std::printf("\nChrome trace written to %s (%zu queries, %zu spans"
+                    "%s)\n",
+                    trace_out.c_str(), r.trace->queries().size(),
+                    r.trace->spans().size(),
+                    r.trace->overflow_queries() > 0 ? ", span cap hit" : "");
+      }
+    }
   } else {
     PrintAggregateTable(cells);
     if (!csv_prefix.empty()) {
       std::fprintf(stderr,
                    "--csv applies to single-trial runs; use --json-out for "
                    "sweeps\n");
+    }
+    if (!trace_out.empty()) {
+      std::fprintf(stderr,
+                   "--trace-out applies to single-trial runs only; no trace "
+                   "written\n");
     }
   }
 
