@@ -1,0 +1,92 @@
+// Robustness head-to-head under injected faults — the paper's claim that
+// Flower-CDN "maintains reliable performance in spite of failures" (§6.4)
+// versus a full-DHT Squirrel baseline. Both systems run the same scripted
+// scenario (src/chaos): a directory kill, a 30-minute locality partition,
+// and a loss ramp, with fault-free control cells alongside.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "chaos/scenario.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+namespace {
+
+/// The canonical resilience scenario: kill the hot petal's directory at
+/// 6 h, cut localities 0 and 1 apart for 30 min at 8 h, then ramp uniform
+/// loss to 2% over 10 h..11 h.
+ScenarioScript MakeScenario() {
+  ScenarioScript script;
+  script.name = "resilience";
+  script.AddKillDirectory(/*website=*/0, /*locality=*/0, 6 * kHour);
+  script.AddPartition(/*loc_a=*/0, /*loc_b=*/1, 8 * kHour, 30 * kMinute);
+  script.AddLossRamp(/*rate=*/0.02, 10 * kHour, 11 * kHour);
+  return script;
+}
+
+std::string Minutes(const MetricSummary& s) {
+  MetricSummary m = s;
+  m.mean /= 60000.0;
+  m.ci95_half /= 60000.0;
+  return bench::PlusMinus(m, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args =
+      bench::BenchArgs::Parse(argc, argv, /*default_population=*/2000);
+  if (args.duration == 24 * kHour) args.duration = 12 * kHour;
+
+  std::printf("=== Chaos resilience: Flower-CDN vs Squirrel under injected "
+              "faults (P=%zu, %lld h) ===\n",
+              args.population,
+              static_cast<long long>(args.duration / kHour));
+
+  ScenarioScript scenario = MakeScenario();
+  std::vector<TrialJob> jobs;
+  for (SystemKind kind : {SystemKind::kFlowerCdn, SystemKind::kSquirrel}) {
+    for (bool chaos : {false, true}) {
+      ExperimentConfig config = args.MakeConfig();
+      if (chaos) config.chaos = scenario;
+      std::string label = std::string(SystemKindName(kind)) +
+                          (chaos ? "/faults" : "/control");
+      bench::AddCell(&jobs, args, config, kind, label);
+    }
+  }
+  std::vector<CellResult> cells = bench::RunGrid(args, jobs);
+
+  TablePrinter table({"configuration", "hit_ratio", "lookup_ms",
+                      "replace_min", "hit_dip", "recovery_min",
+                      "succ_during", "succ_after", "inj_drops"});
+  for (const CellResult& cell : cells) {
+    const AggregateResult& a = cell.aggregate;
+    if (!a.chaos_enabled) {
+      table.AddRow({cell.label, bench::PlusMinus(a.hit_ratio, 3),
+                    bench::PlusMinus(a.mean_lookup_ms, 0), "-", "-", "-", "-",
+                    "-", "-"});
+      continue;
+    }
+    table.AddRow({cell.label, bench::PlusMinus(a.hit_ratio, 3),
+                  bench::PlusMinus(a.mean_lookup_ms, 0),
+                  Minutes(a.chaos_replacement_latency_ms),
+                  bench::PlusMinus(a.chaos_hit_ratio_dip, 3),
+                  Minutes(a.chaos_recovery_ms),
+                  bench::PlusMinus(a.chaos_success_during_partition, 3),
+                  bench::PlusMinus(a.chaos_success_after_partition, 3),
+                  bench::PlusMinus(a.chaos_injected_drops, 0)});
+  }
+  table.Print(std::cout);
+  std::printf("\nCSV:\n");
+  table.PrintCsv(std::cout);
+  std::printf(
+      "\nExpectation: Flower-CDN replaces the killed directory within "
+      "minutes (gossip-elected successor) and keeps serving intra-locality "
+      "hits through the partition, so its dip is shallow and short; "
+      "Squirrel routes every query through the global ring, so the same "
+      "cut and loss hit a larger share of its lookups.\n");
+  return 0;
+}

@@ -2,14 +2,18 @@
 // recover its directory after the directory peer fails, as a function of
 // the gossip/keepalive period? (Table 1 uses 1 hour.)
 //
-// Method: one isolated petal, warm it up, kill the directory, measure the
-// time until (a) a replacement claims the D-ring position and (b) the
-// replacement's directory-index reaches half the pre-failure size.
+// Method: one isolated petal, warm it up, then let the chaos engine kill
+// the directory on a scripted timeline (src/chaos). The engine's recovery
+// probe reports the time until a replacement claims the D-ring position;
+// the bench additionally samples the replacement's directory-index until
+// it reaches half the pre-failure size.
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "chaos/engine.h"
+#include "chaos/scenario.h"
 #include "expt/env.h"
 #include "expt/flower_system.h"
 #include "util/table_printer.h"
@@ -17,6 +21,8 @@
 using namespace flowercdn;
 
 namespace {
+
+constexpr SimDuration kWarmup = 4 * kHour;
 
 struct RecoveryResult {
   double replace_minutes = -1;
@@ -41,29 +47,46 @@ RecoveryResult MeasureRecovery(SimDuration gossip_period, uint64_t seed) {
   ExperimentEnv env(config);
   FlowerSystem system(&env, config.flower);
   system.Setup();
-  env.sim().RunUntil(4 * kHour);
 
-  FlowerPeer* dir = system.FindDirectory(0, 0);
-  if (dir == nullptr) return {};
+  // Scripted fault: kill the petal's directory after warmup.
+  ScenarioScript script;
+  script.name = "maintenance-recovery";
+  script.AddKillDirectory(/*website=*/0, /*locality=*/0, kWarmup);
+
   RecoveryResult result;
-  result.entries_before = dir->index().num_entries();
-  SimTime killed_at = env.sim().now();
-  system.InjectFailure(dir->self());
+  ChaosHooks hooks;
+  hooks.kill_directory = [&](WebsiteId ws, int loc) {
+    // Snapshot the index size the replacement has to rebuild towards.
+    FlowerPeer* dir = system.FindDirectory(ws, loc);
+    if (dir != nullptr) result.entries_before = dir->index().num_entries();
+    return system.KillDirectory(ws, loc);
+  };
+  hooks.directory_alive = [&](WebsiteId ws, int loc) {
+    return system.HasDirectory(ws, loc);
+  };
+  ChaosEngine engine(&env.sim(), &env.network(), nullptr, &env.stats(),
+                     env.MakeRng("chaos"), script, std::move(hooks));
+  engine.Start();
 
-  // Sample every simulated minute.
-  while (env.sim().now() < killed_at + 8 * kHour) {
+  // Sample the index rebuild every simulated minute after the kill.
+  env.sim().RunUntil(kWarmup);
+  while (env.sim().now() < kWarmup + 8 * kHour) {
     env.sim().RunUntil(env.sim().now() + kMinute);
     FlowerPeer* replacement = system.FindDirectory(0, 0);
     if (replacement == nullptr) continue;
-    if (result.replace_minutes < 0) {
-      result.replace_minutes =
-          static_cast<double>(env.sim().now() - killed_at) / kMinute;
-    }
     if (replacement->index().num_entries() >= result.entries_before / 2) {
       result.rebuild_minutes =
-          static_cast<double>(env.sim().now() - killed_at) / kMinute;
+          static_cast<double>(env.sim().now() - kWarmup) / kMinute;
       break;
     }
+  }
+
+  ChaosReport report = engine.Finish();
+  if (!report.directory_kills.empty() &&
+      report.directory_kills[0].had_directory &&
+      report.directory_kills[0].replacement_latency_ms >= 0) {
+    result.replace_minutes =
+        report.directory_kills[0].replacement_latency_ms / kMinute;
   }
   return result;
 }

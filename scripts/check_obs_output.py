@@ -6,13 +6,15 @@ Validates that
   * a --trace-out file is well-formed Chrome trace-event JSON that
     chrome://tracing / Perfetto will accept (object form, "traceEvents"
     list, complete events with integer ts/dur), and
-  * a --json-out file follows the flowercdn-runner/v2 schema, in
-    particular the per-trial "overhead" and "overlay" sections.
+  * a --json-out file follows the flowercdn-runner/v3 schema, in
+    particular the per-trial "overhead", "overlay" and "chaos" sections.
 
 Usage:
-  check_obs_output.py --trace trace.json --runner out.json
-Either argument may be given alone. Exits non-zero on the first problem.
-Stdlib only — runs anywhere CI has a python3.
+  check_obs_output.py --trace trace.json --runner out.json [--chaos]
+Either file argument may be given alone. --chaos additionally requires
+at least one trial to carry an enabled chaos section (use it when the
+run was driven by a --chaos scenario). Exits non-zero on the first
+problem. Stdlib only — runs anywhere CI has a python3.
 """
 
 import argparse
@@ -20,7 +22,7 @@ import json
 import sys
 
 TRAFFIC_FAMILIES = ("chord", "gossip", "flower", "squirrel", "other",
-                    "dropped")
+                    "dropped", "injected_loss")
 PHASE_NAMES = ("dring_resolve", "dir_query", "summary_probe", "fetch",
                "origin")
 
@@ -78,6 +80,67 @@ def check_dist(d, where):
         require(key in d, f"runner: {where} lacks {key!r}")
 
 
+def check_chaos(trial, where):
+    """Validates the always-present v3 "chaos" section. Returns True when
+    the trial ran with an enabled scenario."""
+    chaos = trial.get("chaos")
+    require(isinstance(chaos, dict), f'runner: {where} lacks "chaos"')
+    require(isinstance(chaos.get("enabled"), bool),
+            f"runner: {where} chaos.enabled must be a bool")
+    if not chaos["enabled"]:
+        require(set(chaos) == {"enabled"},
+                f"runner: {where} fault-free chaos section must hold only "
+                f'"enabled"')
+        return False
+
+    require(isinstance(chaos.get("scenario"), str),
+            f"runner: {where} chaos lacks the scenario name")
+    require(isinstance(chaos.get("actions_executed"), int) and
+            chaos["actions_executed"] >= 0,
+            f"runner: {where} chaos.actions_executed malformed")
+    faults = chaos.get("faults")
+    require(isinstance(faults, dict), f'runner: {where} chaos lacks "faults"')
+    for key in ("loss_drops", "partition_drops", "delayed", "dup_copies"):
+        require(isinstance(faults.get(key), int) and faults[key] >= 0,
+                f"runner: {where} chaos.faults.{key} malformed")
+
+    kills = chaos.get("directory_kills")
+    require(isinstance(kills, list),
+            f'runner: {where} chaos lacks "directory_kills"')
+    for ki, kill in enumerate(kills):
+        for key in ("website", "locality", "t_ms", "had_directory",
+                    "replacement_latency_ms"):
+            require(key in kill,
+                    f"runner: {where} chaos kill {ki} lacks {key!r}")
+        require(kill["replacement_latency_ms"] >= -1,
+                f"runner: {where} chaos kill {ki}: replacement latency "
+                f"must be >= -1 (-1 = never replaced)")
+
+    partitions = chaos.get("partitions")
+    require(isinstance(partitions, list),
+            f'runner: {where} chaos lacks "partitions"')
+    for pi, p in enumerate(partitions):
+        for key in ("loc_a", "loc_b", "start_ms", "end_ms",
+                    "queries_during", "hits_during", "success_during",
+                    "queries_after", "hits_after", "success_after"):
+            require(key in p,
+                    f"runner: {where} chaos partition {pi} lacks {key!r}")
+        require(p["end_ms"] >= p["start_ms"],
+                f"runner: {where} chaos partition {pi}: end before start")
+        for key in ("success_during", "success_after"):
+            require(0.0 <= p[key] <= 1.0,
+                    f"runner: {where} chaos partition {pi}: {key} "
+                    f"outside [0, 1]")
+
+    hr = chaos.get("hit_ratio")
+    require(isinstance(hr, dict), f'runner: {where} chaos lacks "hit_ratio"')
+    for key in ("baseline", "dip_min", "dip_min_t_ms", "recovery_ms"):
+        require(key in hr, f"runner: {where} chaos.hit_ratio lacks {key!r}")
+    require(hr["dip_min"] <= hr["baseline"],
+            f"runner: {where} chaos.hit_ratio dip_min above baseline")
+    return True
+
+
 def check_trial(trial, where):
     overhead = trial.get("overhead")
     require(isinstance(overhead, dict), f'runner: {where} lacks "overhead"')
@@ -97,6 +160,10 @@ def check_trial(trial, where):
         require(sum(f["bytes_per_bucket"]) == f["bytes"],
                 f"runner: {where} family {fam}: per-bucket bytes do not sum "
                 f"to the total")
+    require(isinstance(overhead.get("rpc_cancelled"), int) and
+            overhead["rpc_cancelled"] >= 0,
+            f"runner: {where} overhead.rpc_cancelled must be a "
+            f"non-negative int")
     counters = overhead.get("counters")
     require(isinstance(counters, list),
             f'runner: {where} overhead lacks "counters"')
@@ -117,40 +184,58 @@ def check_trial(trial, where):
         check_dist(s["dir_load"], f"{where} overlay dir_load")
         check_dist(s["petal_size"], f"{where} overlay petal_size")
 
+    return check_chaos(trial, where)
 
-def check_runner(path):
+
+def check_runner(path, expect_chaos=False):
     with open(path) as f:
         doc = json.load(f)
-    require(doc.get("schema") == "flowercdn-runner/v2",
+    require(doc.get("schema") == "flowercdn-runner/v3",
             f"runner: schema is {doc.get('schema')!r}, "
-            f"want flowercdn-runner/v2")
+            f"want flowercdn-runner/v3")
     cells = doc.get("cells")
     require(isinstance(cells, list) and cells, "runner: no cells")
     n_trials = 0
+    n_chaos = 0
     for ci, cell in enumerate(cells):
+        require(isinstance(cell.get("scenario"), str),
+                f'runner: cell {ci} lacks the "scenario" label')
         for hist in ("lookup_all", "lookup_hits"):
             h = cell["aggregate"]["histograms"][hist]
             require("p99" in h, f"runner: cell {ci} {hist} lacks p99")
         for ti, trial in enumerate(cell.get("trial_results", [])):
-            check_trial(trial, f"cell {ci} trial {ti}")
+            chaotic = check_trial(trial, f"cell {ci} trial {ti}")
+            # A labelled cell must run its scenario; the converse is not
+            # required (a --chaos file may leave "name" empty).
+            require(chaotic or not cell["scenario"],
+                    f"runner: cell {ci} trial {ti}: scenario label set "
+                    f"but chaos.enabled is false")
             n_trials += 1
+            n_chaos += chaotic
     require(n_trials > 0,
             "runner: no trial_results (run without --json-aggregate-only)")
+    if expect_chaos:
+        require(n_chaos > 0,
+                "runner: --chaos given but no trial ran with a scenario")
     print(f"check_obs_output: runner OK "
-          f"({len(cells)} cells, {n_trials} trials)")
+          f"({len(cells)} cells, {n_trials} trials, {n_chaos} with chaos)")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace JSON from --trace-out")
     parser.add_argument("--runner", help="runner JSON from --json-out")
+    parser.add_argument("--chaos", action="store_true",
+                        help="require at least one chaos-enabled trial")
     args = parser.parse_args()
     if not args.trace and not args.runner:
         parser.error("give --trace and/or --runner")
+    if args.chaos and not args.runner:
+        parser.error("--chaos needs --runner")
     if args.trace:
         check_trace(args.trace)
     if args.runner:
-        check_runner(args.runner)
+        check_runner(args.runner, expect_chaos=args.chaos)
 
 
 if __name__ == "__main__":

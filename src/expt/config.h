@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "chaos/scenario.h"
 #include "flower/params.h"
 #include "metrics/metrics.h"
 #include "sim/churn.h"
@@ -63,6 +64,11 @@ struct ExperimentConfig {
 
   FlowerParams flower;
   SquirrelPeer::Params squirrel;
+
+  /// Fault-injection timeline; an empty script (the default) disables the
+  /// chaos engine entirely and leaves the run bit-identical to before the
+  /// engine existed.
+  ScenarioScript chaos;
 
   /// Arrival rate (peers per ms): the override when set, else the rate
   /// P/m that keeps the population at P.

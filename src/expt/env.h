@@ -48,6 +48,8 @@ class ExperimentEnv {
   Network& network() { return network_; }
   const WebsiteCatalog& catalog() const { return catalog_; }
   const QueryWorkload& workload() const { return workload_; }
+  /// Mutable access for chaos actions (flash-crowd rate multipliers).
+  QueryWorkload& mutable_workload() { return workload_; }
   const OriginServers& origins() const { return origins_; }
   MetricsCollector& metrics() { return metrics_; }
   ChurnProcess& churn() { return churn_; }

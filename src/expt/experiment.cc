@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "chaos/engine.h"
 #include "expt/env.h"
 
 namespace flowercdn {
@@ -31,6 +32,34 @@ ExperimentResult RunExperiment(
   } else {
     squirrel = std::make_unique<SquirrelSystem>(&env, config.squirrel);
     squirrel->Setup();
+  }
+
+  std::unique_ptr<ChaosEngine> chaos;
+  if (!config.chaos.empty()) {
+    ChaosHooks hooks;
+    if (flower != nullptr) {
+      FlowerSystem* fs = flower.get();
+      hooks.kill_directory = [fs](WebsiteId ws, int loc) {
+        return fs->KillDirectory(ws, loc);
+      };
+      hooks.directory_alive = [fs](WebsiteId ws, int loc) {
+        return fs->HasDirectory(ws, loc);
+      };
+    }
+    // Squirrel has no directory peers; kill_directory actions degrade to
+    // counted no-ops, keeping cross-system scenarios comparable.
+    ExperimentEnv* env_ptr = &env;
+    hooks.set_query_rate = [env_ptr](WebsiteId ws, double multiplier) {
+      env_ptr->mutable_workload().SetRateMultiplier(ws, multiplier);
+    };
+    hooks.query_totals = [env_ptr](uint64_t& queries, uint64_t& hits) {
+      queries = env_ptr->metrics().total_queries();
+      hits = env_ptr->metrics().hits();
+    };
+    chaos = std::make_unique<ChaosEngine>(
+        &env.sim(), &env.network(), &env.churn(), &env.stats(),
+        env.MakeRng("chaos"), config.chaos, std::move(hooks));
+    chaos->Start();
   }
 
   for (SimTime t = kHour; t <= config.duration; t += kHour) {
@@ -77,6 +106,9 @@ ExperimentResult RunExperiment(
   }
   if (squirrel != nullptr) {
     result.squirrel_stats = squirrel->ComputeStats();
+  }
+  if (chaos != nullptr) {
+    result.chaos = chaos->Finish();
   }
 
   result.stats_interval = config.stats_interval;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/probe.h"
 #include "expt/config.h"
 #include "expt/flower_system.h"
 #include "expt/squirrel_system.h"
@@ -79,6 +80,10 @@ struct ExperimentResult {
   std::vector<OverlaySample> overlay_samples;
   /// Query-lifecycle traces; null unless config.collect_traces.
   std::shared_ptr<TraceCollector> trace;
+
+  /// Chaos recovery metrics; `chaos.enabled` is false unless the config
+  /// carried a non-empty scenario.
+  ChaosReport chaos;
 };
 
 /// Runs one full simulated deployment of `kind` under `config`.

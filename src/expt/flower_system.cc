@@ -279,6 +279,17 @@ FlowerPeer* FlowerSystem::session(PeerId peer) {
 
 void FlowerSystem::InjectFailure(PeerId peer) { DestroySession(peer); }
 
+bool FlowerSystem::HasDirectory(WebsiteId ws, LocalityId loc) {
+  return FindDirectory(ws, loc) != nullptr;
+}
+
+bool FlowerSystem::KillDirectory(WebsiteId ws, LocalityId loc) {
+  FlowerPeer* dir = FindDirectory(ws, loc);
+  if (dir == nullptr) return false;
+  InjectFailure(dir->self());
+  return true;
+}
+
 void FlowerSystem::InjectGracefulLeave(PeerId peer) {
   auto it = sessions_.find(peer);
   if (it == sessions_.end()) return;

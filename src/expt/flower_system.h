@@ -78,6 +78,12 @@ class FlowerSystem {
   /// the maintenance-recovery bench). No-op if offline.
   void InjectFailure(PeerId peer);
 
+  /// Chaos-engine hooks: whether petal (ws, loc) has a live primary
+  /// directory, and killing it. KillDirectory returns false when the petal
+  /// has no live directory to kill.
+  bool HasDirectory(WebsiteId ws, LocalityId loc);
+  bool KillDirectory(WebsiteId ws, LocalityId loc);
+
   /// Makes a directory peer leave gracefully with handoff (§5.2.2).
   void InjectGracefulLeave(PeerId peer);
 

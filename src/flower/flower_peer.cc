@@ -193,7 +193,7 @@ void FlowerPeer::StartQueryingIfActive() {
 }
 
 void FlowerPeer::ScheduleNextQuery() {
-  SimDuration gap = ctx_.workload->NextQueryGap(rng_);
+  SimDuration gap = ctx_.workload->NextQueryGap(website_, rng_);
   ctx_.network->SchedulePeer(self_, incarnation_, gap,
                              [this]() { IssueQuery(); });
 }

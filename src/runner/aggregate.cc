@@ -107,6 +107,45 @@ AggregateResult Aggregate(const std::vector<ExperimentResult>& trials) {
     return r.load_samples.empty() ? 0.0 : r.load_samples.back().mean_load;
   });
 
+  agg.chaos_enabled = trials[0].chaos.enabled;
+  if (agg.chaos_enabled) {
+    agg.chaos_replacement_latency_ms = Summarize(trials, [](const R& r) {
+      double sum = 0;
+      size_t replaced = 0;
+      for (const auto& kill : r.chaos.directory_kills) {
+        if (kill.replacement_latency_ms >= 0) {
+          sum += kill.replacement_latency_ms;
+          ++replaced;
+        }
+      }
+      return replaced ? sum / static_cast<double>(replaced) : 0.0;
+    });
+    agg.chaos_hit_ratio_dip = Summarize(trials, [](const R& r) {
+      return r.chaos.baseline_hit_ratio - r.chaos.dip_min_hit_ratio;
+    });
+    agg.chaos_recovery_ms = Summarize(
+        trials, [](const R& r) { return r.chaos.hit_ratio_recovery_ms; });
+    agg.chaos_success_during_partition = Summarize(trials, [](const R& r) {
+      uint64_t queries = 0, hits = 0;
+      for (const auto& p : r.chaos.partition_windows) {
+        queries += p.queries_during;
+        hits += p.hits_during;
+      }
+      return queries ? static_cast<double>(hits) / queries : 0.0;
+    });
+    agg.chaos_success_after_partition = Summarize(trials, [](const R& r) {
+      uint64_t queries = 0, hits = 0;
+      for (const auto& p : r.chaos.partition_windows) {
+        queries += p.queries_after;
+        hits += p.hits_after;
+      }
+      return queries ? static_cast<double>(hits) / queries : 0.0;
+    });
+    agg.chaos_injected_drops = Summarize(trials, [](const R& r) {
+      return r.chaos.faults.loss_drops + r.chaos.faults.partition_drops;
+    });
+  }
+
   // Pool the distributions: reshape to the first trial's geometry, then sum
   // bucket counts trial by trial (in vector order, for bit-stable output).
   agg.lookup_all = trials[0].lookup_all;

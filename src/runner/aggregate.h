@@ -62,6 +62,22 @@ struct AggregateResult {
   MetricSummary max_instance;
   MetricSummary final_mean_directory_load;
 
+  // Chaos recovery metrics, summarized across trials. Only meaningful when
+  // `chaos_enabled` (the cell ran with a scenario); all-zero otherwise.
+  bool chaos_enabled = false;
+  /// Per trial: mean replacement latency over the directory kills that were
+  /// replaced before the run ended (0 when none were).
+  MetricSummary chaos_replacement_latency_ms;
+  /// Per trial: baseline windowed hit ratio minus the dip minimum.
+  MetricSummary chaos_hit_ratio_dip;
+  /// Per trial: hit-ratio recovery time (-1 = dipped but never recovered).
+  MetricSummary chaos_recovery_ms;
+  /// Per trial: pooled hit ratio during / after partition windows.
+  MetricSummary chaos_success_during_partition;
+  MetricSummary chaos_success_after_partition;
+  /// Per trial: messages lost to the fault layer (loss + partitions).
+  MetricSummary chaos_injected_drops;
+
   // Pooled distributions (Figs. 4, 5): bucket counts summed across trials.
   Histogram lookup_all{50.0, 60};
   Histogram lookup_hits{50.0, 60};

@@ -215,7 +215,11 @@ void WriteOverhead(JsonWriter& w, const ExperimentResult& r) {
                      &Network::TrafficBreakdown::other);
   WriteTrafficFamily(w, "dropped", r.traffic.dropped, r.traffic_series,
                      &Network::TrafficBreakdown::dropped);
+  WriteTrafficFamily(w, "injected_loss", r.traffic.injected_loss,
+                     r.traffic_series,
+                     &Network::TrafficBreakdown::injected_loss);
   w.EndObject();
+  w.Key("rpc_cancelled").Value(r.traffic.rpc_cancelled);
   w.Key("counters").BeginArray();
   for (const StatsRegistry::CounterSnapshot& c : r.stat_counters) {
     w.BeginObject();
@@ -251,6 +255,59 @@ void WriteOverlay(JsonWriter& w, const ExperimentResult& r) {
   w.EndArray();
 }
 
+/// "chaos": the recovery metrics of one trial's scenario run. Always
+/// present in v3; only the "enabled" flag when the trial ran fault-free.
+void WriteChaos(JsonWriter& w, const ChaosReport& c) {
+  w.Key("chaos").BeginObject();
+  w.Key("enabled").Value(c.enabled);
+  if (!c.enabled) {
+    w.EndObject();
+    return;
+  }
+  w.Key("scenario").Value(c.scenario);
+  w.Key("actions_executed").Value(c.actions_executed);
+  w.Key("faults").BeginObject();
+  w.Key("loss_drops").Value(c.faults.loss_drops);
+  w.Key("partition_drops").Value(c.faults.partition_drops);
+  w.Key("delayed").Value(c.faults.delayed);
+  w.Key("dup_copies").Value(c.faults.dup_copies);
+  w.EndObject();
+  w.Key("directory_kills").BeginArray();
+  for (const ChaosReport::DirectoryKill& kill : c.directory_kills) {
+    w.BeginObject();
+    w.Key("website").Value(static_cast<uint64_t>(kill.website));
+    w.Key("locality").Value(static_cast<uint64_t>(kill.locality));
+    w.Key("t_ms").Value(static_cast<uint64_t>(kill.kill_time));
+    w.Key("had_directory").Value(kill.had_directory);
+    w.Key("replacement_latency_ms").Value(kill.replacement_latency_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("partitions").BeginArray();
+  for (const ChaosReport::PartitionWindow& p : c.partition_windows) {
+    w.BeginObject();
+    w.Key("loc_a").Value(static_cast<uint64_t>(p.loc_a));
+    w.Key("loc_b").Value(static_cast<uint64_t>(p.loc_b));
+    w.Key("start_ms").Value(static_cast<uint64_t>(p.start));
+    w.Key("end_ms").Value(static_cast<uint64_t>(p.end));
+    w.Key("queries_during").Value(p.queries_during);
+    w.Key("hits_during").Value(p.hits_during);
+    w.Key("success_during").Value(p.SuccessDuring());
+    w.Key("queries_after").Value(p.queries_after);
+    w.Key("hits_after").Value(p.hits_after);
+    w.Key("success_after").Value(p.SuccessAfter());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("hit_ratio").BeginObject();
+  w.Key("baseline").Value(c.baseline_hit_ratio);
+  w.Key("dip_min").Value(c.dip_min_hit_ratio);
+  w.Key("dip_min_t_ms").Value(static_cast<uint64_t>(c.dip_min_time));
+  w.Key("recovery_ms").Value(c.hit_ratio_recovery_ms);
+  w.EndObject();
+  w.EndObject();
+}
+
 void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
                 size_t trial) {
   w.BeginObject();
@@ -274,6 +331,7 @@ void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
   w.EndArray();
   WriteOverhead(w, r);
   WriteOverlay(w, r);
+  WriteChaos(w, r.chaos);
   w.EndObject();
 }
 
@@ -313,6 +371,23 @@ void WriteAggregate(JsonWriter& w, const AggregateResult& a) {
   }
   w.EndObject();
 
+  if (a.chaos_enabled) {
+    w.Key("chaos").BeginObject();
+    const Named chaos_metrics[] = {
+        {"replacement_latency_ms", a.chaos_replacement_latency_ms},
+        {"hit_ratio_dip", a.chaos_hit_ratio_dip},
+        {"recovery_ms", a.chaos_recovery_ms},
+        {"success_during_partition", a.chaos_success_during_partition},
+        {"success_after_partition", a.chaos_success_after_partition},
+        {"injected_drops", a.chaos_injected_drops},
+    };
+    for (const Named& m : chaos_metrics) {
+      w.Key(m.name);
+      WriteSummary(w, m.summary);
+    }
+    w.EndObject();
+  }
+
   w.Key("histograms").BeginObject();
   w.Key("lookup_all");
   WriteHistogram(w, a.lookup_all);
@@ -338,7 +413,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     bool include_trials) {
   JsonWriter w(os);
   w.BeginObject();
-  w.Key("schema").Value("flowercdn-runner/v2");
+  w.Key("schema").Value("flowercdn-runner/v3");
   w.Key("base_seed").Value(base_seed);
   w.Key("cells").BeginArray();
   for (const CellResult& cell : cells) {
@@ -352,6 +427,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
     w.Key("mean_uptime_min").Value(
         static_cast<uint64_t>(cell.config.mean_uptime / kMinute));
     w.Key("churn").Value(cell.config.churn_enabled);
+    w.Key("scenario").Value(cell.config.chaos.name);
     w.Key("aggregate");
     WriteAggregate(w, cell.aggregate);
     if (include_trials) {

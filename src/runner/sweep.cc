@@ -74,6 +74,29 @@ Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
                                      std::string(key) + "'");
     }
 
+    if (key == "chaos") {
+      for (std::string_view v : values) {
+        if (v == "none") {
+          sweep.scenarios.push_back(ScenarioScript{});
+          continue;
+        }
+        Result<ScenarioScript> script =
+            ScenarioScript::LoadFile(std::string(v));
+        if (!script.ok()) return script.status();
+        if (script->name.empty()) {
+          // Label cells by the file stem when the scenario is anonymous.
+          std::string_view stem = v;
+          size_t slash = stem.rfind('/');
+          if (slash != std::string_view::npos) stem.remove_prefix(slash + 1);
+          size_t dot = stem.rfind('.');
+          if (dot != std::string_view::npos) stem = stem.substr(0, dot);
+          script->name = std::string(stem);
+        }
+        sweep.scenarios.push_back(std::move(*script));
+      }
+      continue;
+    }
+
     if (key == "system") {
       for (std::string_view v : values) {
         Result<SystemChoice> choice = ParseSystemChoice(v);
@@ -126,7 +149,8 @@ Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
     } else {
       return Status::InvalidArgument(
           "sweep: unknown key '" + std::string(key) +
-          "' (want population|zipf|uptime-min|system|trials|seed|hours)");
+          "' (want population|zipf|uptime-min|chaos|system|trials|seed|"
+          "hours)");
     }
   }
   return sweep;
@@ -137,6 +161,7 @@ size_t SweepSpec::NumCells() const {
   if (!populations.empty()) cells *= populations.size();
   if (!zipf_alphas.empty()) cells *= zipf_alphas.size();
   if (!mean_uptimes.empty()) cells *= mean_uptimes.size();
+  if (!scenarios.empty()) cells *= scenarios.size();
   cells *= systems.empty() ? 1 : systems.size();
   return cells;
 }
@@ -153,40 +178,52 @@ std::vector<TrialJob> SweepSpec::Expand() const {
   std::vector<SimDuration> uptimes =
       mean_uptimes.empty() ? std::vector<SimDuration>{base.mean_uptime}
                            : mean_uptimes;
+  std::vector<ScenarioScript> scripts =
+      scenarios.empty() ? std::vector<ScenarioScript>{base.chaos} : scenarios;
   std::vector<SystemChoice> kinds =
       systems.empty() ? std::vector<SystemChoice>{SystemChoice{}} : systems;
 
   std::vector<TrialJob> jobs;
-  jobs.reserve(pops.size() * zipfs.size() * uptimes.size() * kinds.size() *
-               trials);
+  jobs.reserve(pops.size() * zipfs.size() * uptimes.size() * scripts.size() *
+               kinds.size() * trials);
   size_t cell = 0;
   for (size_t population : pops) {
     for (double zipf : zipfs) {
       for (SimDuration uptime : uptimes) {
-        for (const SystemChoice& sys : kinds) {
-          std::string label = sys.name;
-          if (pops.size() > 1) {
-            label += "/P=" + std::to_string(population);
+        for (const ScenarioScript& script : scripts) {
+          for (const SystemChoice& sys : kinds) {
+            std::string label = sys.name;
+            if (pops.size() > 1) {
+              label += "/P=" + std::to_string(population);
+            }
+            if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
+            if (uptimes.size() > 1) {
+              label += "/m=" + std::to_string(uptime / kMinute) + "min";
+            }
+            if (scripts.size() > 1) {
+              label += "/chaos=" +
+                       (script.empty()
+                            ? std::string("none")
+                            : (script.name.empty() ? std::string("scenario")
+                                                   : script.name));
+            }
+            for (size_t trial = 0; trial < trials; ++trial) {
+              TrialJob job;
+              job.config = base;
+              job.config.target_population = population;
+              job.config.catalog.zipf_alpha = zipf;
+              job.config.mean_uptime = uptime;
+              job.config.chaos = script;
+              job.config.squirrel.mode = sys.squirrel_mode;
+              job.config.seed = DeriveTrialSeed(base_seed, trial);
+              job.kind = sys.kind;
+              job.cell = cell;
+              job.trial = trial;
+              job.label = label;
+              jobs.push_back(std::move(job));
+            }
+            ++cell;
           }
-          if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
-          if (uptimes.size() > 1) {
-            label += "/m=" + std::to_string(uptime / kMinute) + "min";
-          }
-          for (size_t trial = 0; trial < trials; ++trial) {
-            TrialJob job;
-            job.config = base;
-            job.config.target_population = population;
-            job.config.catalog.zipf_alpha = zipf;
-            job.config.mean_uptime = uptime;
-            job.config.squirrel.mode = sys.squirrel_mode;
-            job.config.seed = DeriveTrialSeed(base_seed, trial);
-            job.kind = sys.kind;
-            job.cell = cell;
-            job.trial = trial;
-            job.label = label;
-            jobs.push_back(std::move(job));
-          }
-          ++cell;
         }
       }
     }

@@ -37,14 +37,17 @@ struct SweepSpec {
   std::vector<size_t> populations;
   std::vector<double> zipf_alphas;
   std::vector<SimDuration> mean_uptimes;     // churn rates (m, in ms)
+  std::vector<ScenarioScript> scenarios;     // chaos scenarios (files/none)
   std::vector<SystemChoice> systems;         // default: flower only
   size_t trials = 1;
   uint64_t base_seed = 42;
 
   /// Parses a compact sweep string of semicolon-separated `key=v1,v2,...`
-  /// clauses onto `base`. Keys: population, zipf, uptime-min, system,
-  /// trials, seed, hours. Example:
+  /// clauses onto `base`. Keys: population, zipf, uptime-min, chaos,
+  /// system, trials, seed, hours. `chaos` values are scenario file paths
+  /// (or the literal `none` for a fault-free cell). Example:
   ///   "population=2000,3000;system=flower,squirrel;trials=8"
+  ///   "chaos=none,scenarios/dirkill.json;system=flower,squirrel"
   /// Unknown keys, empty value lists and malformed numbers are errors.
   static Result<SweepSpec> Parse(std::string_view spec,
                                  const ExperimentConfig& base);

@@ -24,7 +24,8 @@ void ChurnProcess::StartSession(PeerId peer) {
   ++online_count_;
   if (!params_.enabled) return;
   double uptime =
-      rng_.Exponential(static_cast<double>(params_.mean_uptime));
+      rng_.Exponential(static_cast<double>(params_.mean_uptime)) /
+      rate_multiplier_;
   SimDuration lifetime = std::max<SimDuration>(
       static_cast<SimDuration>(std::llround(uptime)), 1);
   sim_->Schedule(lifetime, [this, peer]() {
@@ -42,8 +43,14 @@ void ChurnProcess::Start() {
   ScheduleNextArrival();
 }
 
+void ChurnProcess::SetRateMultiplier(double m) {
+  FLOWERCDN_CHECK(m > 0) << "churn rate multiplier must be positive";
+  rate_multiplier_ = m;
+}
+
 void ChurnProcess::ScheduleNextArrival() {
-  double gap = rng_.Exponential(1.0 / params_.arrival_rate_per_ms);
+  double gap =
+      rng_.Exponential(1.0 / params_.arrival_rate_per_ms) / rate_multiplier_;
   SimDuration delay = std::max<SimDuration>(
       static_cast<SimDuration>(std::llround(gap)), 1);
   sim_->Schedule(delay, [this]() { OnArrivalTick(); });

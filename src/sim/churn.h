@@ -59,6 +59,15 @@ class ChurnProcess {
   /// Begins the arrival process.
   void Start();
 
+  /// Scales churn intensity for chaos scenarios: future arrival gaps and
+  /// newly drawn session uptimes are divided by `m` (m>1 means faster
+  /// joins AND shorter lives). Already-scheduled failures are unaffected —
+  /// a spike ramps in over roughly one mean uptime. The scaling is applied
+  /// *after* drawing from the RNG, so m == 1.0 leaves the draw sequence
+  /// bit-identical to a run without chaos.
+  void SetRateMultiplier(double m);
+  double rate_multiplier() const { return rate_multiplier_; }
+
   size_t online_count() const { return online_count_; }
   size_t offline_count() const { return offline_.size(); }
   uint64_t total_arrivals() const { return total_arrivals_; }
@@ -82,6 +91,7 @@ class ChurnProcess {
   size_t online_count_ = 0;
   uint64_t total_arrivals_ = 0;
   uint64_t total_failures_ = 0;
+  double rate_multiplier_ = 1.0;
 };
 
 }  // namespace flowercdn

@@ -94,9 +94,36 @@ void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
   ++family->messages;
   family->bytes += size;
   double latency = LatencyMs(src, dst);
+  if (fault_hook_ != nullptr) {
+    FaultDecision decision = fault_hook_->OnSend(src, dst, *msg);
+    if (decision.drop) {
+      // A lossy link (or partition) gives the sender no signal at all: no
+      // NACK, no delivery — only the caller's timeout notices.
+      ++messages_dropped_;
+      ++traffic_.injected_loss.messages;
+      traffic_.injected_loss.bytes += size;
+      return;
+    }
+    if (decision.duplicates > 0) {
+      // Duplicated copies cost bandwidth but are deduplicated by the
+      // transport before the application (sequence-number model): account
+      // them without a second HandleMessage.
+      uint64_t copies = static_cast<uint64_t>(decision.duplicates);
+      messages_sent_ += copies;
+      bytes_sent_ += copies * size;
+      family->messages += copies;
+      family->bytes += copies * size;
+    }
+    latency += decision.extra_delay_ms;
+  }
+  Deliver(dst, static_cast<SimDuration>(latency), std::move(msg));
+}
+
+void Network::Deliver(PeerId dst, SimDuration latency, MessagePtr msg) {
+  size_t size = msg->SizeBytes();
   // Shared-pointer shim so the closure stays copyable (std::function).
   sim_->Schedule(
-      static_cast<SimDuration>(latency),
+      latency,
       [this, dst, size, msg = std::move(msg)]() mutable {
         auto it = identities_.find(dst);
         if (it == identities_.end() || it->second.node == nullptr) {

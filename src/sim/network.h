@@ -13,6 +13,28 @@
 
 namespace flowercdn {
 
+/// What the fault layer decided about one message about to enter the
+/// network. The default is a clean delivery.
+struct FaultDecision {
+  /// Silently lose the message (no transport NACK — unlike a dead
+  /// receiver, a lossy link gives the sender no signal at all).
+  bool drop = false;
+  /// Extra one-way delay added on top of the topology latency, in ms.
+  double extra_delay_ms = 0;
+  /// Extra copies delivered after the original (duplication fault).
+  int duplicates = 0;
+};
+
+/// Interception point for fault injection (src/chaos). Consulted once per
+/// Send() while the fault layer is installed; implementations must be
+/// deterministic functions of (their own RNG stream, the call sequence) so
+/// runs stay bit-reproducible.
+class NetworkFaultHook {
+ public:
+  virtual ~NetworkFaultHook() = default;
+  virtual FaultDecision OnSend(PeerId src, PeerId dst, const Message& msg) = 0;
+};
+
 /// The simulated network: delivers messages between attached peers with
 /// topology-derived latency, drops traffic to failed peers (the sender
 /// notices only through RPC timeouts — exactly how churn hurts a real DHT),
@@ -67,6 +89,12 @@ class Network {
   /// Hands out process-wide unique RPC correlation ids.
   uint64_t NextRpcId() { return next_rpc_id_++; }
 
+  /// Installs (or, with nullptr, removes) the fault-injection layer. At
+  /// most one hook at a time; owned by the caller and consulted on every
+  /// subsequent Send().
+  void SetFaultHook(NetworkFaultHook* hook) { fault_hook_ = hook; }
+  NetworkFaultHook* fault_hook() const { return fault_hook_; }
+
   Simulator* sim() { return sim_; }
   const Simulator* sim() const { return sim_; }
   Topology* topology() { return topology_; }
@@ -94,8 +122,17 @@ class Network {
     /// to the send-time family counters above (a dropped chord message
     /// appears in both `chord` and `dropped`).
     Family dropped;
+    /// Messages lost to the fault-injection layer (link loss, partitions).
+    /// Like `dropped`, counted in addition to the send-time family.
+    Family injected_loss;
+    /// Pending RPC calls cancelled by RpcEndpoint::CancelAll (session
+    /// detach) before their response or timeout arrived.
+    uint64_t rpc_cancelled = 0;
   };
   const TrafficBreakdown& traffic() const { return traffic_; }
+
+  /// Accounts `n` pending calls torn down by an RpcEndpoint on detach.
+  void NoteRpcCancelled(uint64_t n) { traffic_.rpc_cancelled += n; }
 
  private:
   struct IdentityState {
@@ -104,8 +141,12 @@ class Network {
     Incarnation incarnation = 0;
   };
 
+  /// Schedules one delivery of `msg` after `latency` ms.
+  void Deliver(PeerId dst, SimDuration latency, MessagePtr msg);
+
   Simulator* sim_;
   Topology* topology_;
+  NetworkFaultHook* fault_hook_ = nullptr;
   std::unordered_map<PeerId, IdentityState> identities_;
   size_t alive_count_ = 0;
   uint64_t next_rpc_id_ = 1;

@@ -11,6 +11,18 @@ RpcEndpoint::RpcEndpoint(Network* network, PeerId self)
   FLOWERCDN_CHECK(network != nullptr);
 }
 
+size_t RpcEndpoint::CancelAll() {
+  size_t n = pending_.size();
+  if (n == 0) return 0;
+  for (auto& [id, pending] : pending_) {
+    (void)id;
+    network_->sim()->Cancel(pending.timeout_event);
+  }
+  pending_.clear();
+  network_->NoteRpcCancelled(n);
+  return n;
+}
+
 uint64_t RpcEndpoint::Call(PeerId dst, MessagePtr request, SimDuration timeout,
                            ResponseHandler handler) {
   FLOWERCDN_CHECK(request != nullptr);

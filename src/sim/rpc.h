@@ -31,6 +31,15 @@ class RpcEndpoint {
   RpcEndpoint(Network* network, PeerId self);
   RpcEndpoint(const RpcEndpoint&) = delete;
   RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+  ~RpcEndpoint() { CancelAll(); }
+
+  /// Tears down every pending call without invoking its handler: cancels
+  /// the timeout events and reports the count to
+  /// Network::TrafficBreakdown::rpc_cancelled. Must run when the owner's
+  /// session detaches (the destructor calls it) so stale TimedOut closures
+  /// can never outlive the session that created them. Idempotent. Returns
+  /// the number of calls cancelled.
+  size_t CancelAll();
 
   /// Associates the endpoint with the owner's current incarnation.
   void Bind(Incarnation incarnation) { incarnation_ = incarnation; }

@@ -91,7 +91,7 @@ void SquirrelPeer::StartQuerying() {
 }
 
 void SquirrelPeer::ScheduleNextQuery() {
-  SimDuration gap = ctx_.workload->NextQueryGap(rng_);
+  SimDuration gap = ctx_.workload->NextQueryGap(website_, rng_);
   ctx_.network->SchedulePeer(self_, incarnation_, gap,
                              [this]() { IssueQuery(); });
 }

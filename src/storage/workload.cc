@@ -33,10 +33,26 @@ std::optional<ObjectId> QueryWorkload::NextQuery(WebsiteId ws,
   return std::nullopt;
 }
 
-SimDuration QueryWorkload::NextQueryGap(Rng& rng) const {
+SimDuration QueryWorkload::NextQueryGap(WebsiteId ws, Rng& rng) const {
   double gap = rng.Exponential(static_cast<double>(params_.mean_query_gap));
+  auto it = rate_multiplier_.find(ws);
+  if (it != rate_multiplier_.end()) gap /= it->second;
   return std::max<SimDuration>(static_cast<SimDuration>(std::llround(gap)),
                                1);
+}
+
+void QueryWorkload::SetRateMultiplier(WebsiteId ws, double m) {
+  FLOWERCDN_CHECK(m > 0) << "query rate multiplier must be positive";
+  if (m == 1.0) {
+    rate_multiplier_.erase(ws);
+  } else {
+    rate_multiplier_[ws] = m;
+  }
+}
+
+double QueryWorkload::rate_multiplier(WebsiteId ws) const {
+  auto it = rate_multiplier_.find(ws);
+  return it == rate_multiplier_.end() ? 1.0 : it->second;
 }
 
 }  // namespace flowercdn

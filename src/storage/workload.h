@@ -2,6 +2,7 @@
 #define FLOWERCDN_STORAGE_WORKLOAD_H_
 
 #include <optional>
+#include <unordered_map>
 
 #include "sim/types.h"
 #include "storage/content_store.h"
@@ -33,14 +34,23 @@ class QueryWorkload {
   std::optional<ObjectId> NextQuery(WebsiteId ws, const ContentStore& store,
                                     Rng& rng) const;
 
-  /// Exponential gap until the peer's next query.
-  SimDuration NextQueryGap(Rng& rng) const;
+  /// Exponential gap until the peer's next query for `ws`. A flash-crowd
+  /// multiplier > 1 shrinks the gap (more queries per peer per hour). The
+  /// multiplier is applied after drawing, so a multiplier of 1.0 consumes
+  /// the RNG stream exactly as a run without chaos would.
+  SimDuration NextQueryGap(WebsiteId ws, Rng& rng) const;
+
+  /// Sets the query-rate multiplier for one website (chaos `flash_crowd`
+  /// action). 1.0 restores the baseline rate.
+  void SetRateMultiplier(WebsiteId ws, double m);
+  double rate_multiplier(WebsiteId ws) const;
 
   const Params& params() const { return params_; }
 
  private:
   const WebsiteCatalog* catalog_;
   Params params_;
+  std::unordered_map<WebsiteId, double> rate_multiplier_;
 };
 
 }  // namespace flowercdn

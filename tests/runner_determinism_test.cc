@@ -41,6 +41,32 @@ TEST(RunnerDeterminismTest, JsonBitIdenticalAcrossJobCounts) {
   EXPECT_EQ(parallel, RunWithJobs(sweep, 8));
 }
 
+// The ISSUE acceptance scenario in miniature: a directory kill, a healed
+// partition and a loss ramp must not cost determinism — the chaos RNG is a
+// forked per-trial stream and every fault decision happens in simulator
+// order, so the full JSON (including the "chaos" section) stays
+// byte-identical at any parallelism.
+TEST(RunnerDeterminismTest, ChaosScenarioBitIdenticalAcrossJobCounts) {
+  SweepSpec sweep = TinySweep();
+  ScenarioScript script;
+  script.name = "determinism";
+  script.loss_rate = 0.005;
+  script.AddKillDirectory(/*website=*/0, /*locality=*/0, 30 * kMinute)
+      .AddPartition(/*loc_a=*/0, /*loc_b=*/1, 45 * kMinute, 15 * kMinute)
+      .AddLossRamp(/*rate=*/0.01, 60 * kMinute, 90 * kMinute);
+  sweep.base.chaos = script;
+
+  std::string serial = RunWithJobs(sweep, 1);
+  std::string parallel = RunWithJobs(sweep, 8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"chaos\""), std::string::npos);
+  EXPECT_NE(serial.find("\"determinism\""), std::string::npos);
+
+  // The scenario must actually change the run relative to fault-free.
+  SweepSpec clean = TinySweep();
+  EXPECT_NE(RunWithJobs(clean, 1), serial);
+}
+
 TEST(RunnerDeterminismTest, DifferentSeedChangesResults) {
   SweepSpec sweep = TinySweep();
   std::string a = RunWithJobs(sweep, 2);

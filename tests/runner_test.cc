@@ -249,7 +249,7 @@ TEST(JsonExportTest, SweepDocumentShape) {
   cell.aggregate = Aggregate(cell.trials);
 
   std::string json = SweepJsonString(42, {cell}, /*include_trials=*/true);
-  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v2\""),
+  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v3\""),
             std::string::npos);
   EXPECT_NE(json.find("\"base_seed\":42"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"flower\""), std::string::npos);
@@ -261,6 +261,12 @@ TEST(JsonExportTest, SweepDocumentShape) {
   EXPECT_NE(json.find("\"families\":{\"chord\":{"), std::string::npos);
   EXPECT_NE(json.find("\"overlay\":["), std::string::npos);
   EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // v3 additions: injected-loss family, rpc cancellation counter, and an
+  // always-present per-trial chaos section (disabled on fault-free runs).
+  EXPECT_NE(json.find("\"injected_loss\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"rpc_cancelled\":"), std::string::npos);
+  EXPECT_NE(json.find("\"chaos\":{\"enabled\":false}"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\":\"\""), std::string::npos);
 
   std::string no_trials = SweepJsonString(42, {cell}, false);
   EXPECT_EQ(no_trials.find("\"trial_results\""), std::string::npos);

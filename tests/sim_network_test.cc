@@ -198,6 +198,109 @@ TEST_F(NetworkTest, RpcFailsFastViaNackForDeadPeer) {
   EXPECT_LT(completion, kSecond) << "NACK should beat the timeout";
 }
 
+// --- Fault hook --------------------------------------------------------------
+
+/// Scripted fault hook: applies one fixed decision to every send.
+class FixedFaultHook : public NetworkFaultHook {
+ public:
+  FaultDecision OnSend(PeerId, PeerId, const Message&) override {
+    ++calls;
+    return decision;
+  }
+  FaultDecision decision;
+  int calls = 0;
+};
+
+TEST_F(NetworkTest, FaultHookDropIsSilent) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  FixedFaultHook hook;
+  hook.decision.drop = true;
+  network_.SetFaultHook(&hook);
+  auto msg = std::make_unique<TestMsg>();
+  msg->rpc_id = 9;  // request semantics — would NACK if the peer were dead
+  network_.Send(1, 2, std::move(msg));
+  sim_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_TRUE(a_.received.empty()) << "injected loss must not NACK";
+  EXPECT_EQ(hook.calls, 1);
+  EXPECT_EQ(network_.messages_dropped(), 1u);
+  EXPECT_EQ(network_.traffic().injected_loss.messages, 1u);
+  EXPECT_EQ(network_.traffic().dropped.messages, 0u)
+      << "injected loss is accounted separately from dead-peer drops";
+}
+
+TEST_F(NetworkTest, FaultHookDelayShiftsDelivery) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  FixedFaultHook hook;
+  hook.decision.extra_delay_ms = 250;
+  network_.SetFaultHook(&hook);
+  double latency = network_.LatencyMs(1, 2);
+  network_.Send(1, 2, std::make_unique<TestMsg>());
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(sim_.now(), static_cast<SimTime>(latency) + 250);
+}
+
+TEST_F(NetworkTest, FaultHookDuplicatesCountBandwidthOnly) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  FixedFaultHook hook;
+  hook.decision.duplicates = 1;
+  network_.SetFaultHook(&hook);
+  network_.Send(1, 2, std::make_unique<TestMsg>());
+  sim_.Run();
+  ASSERT_EQ(b_.received.size(), 1u)
+      << "transport dedup: the payload is delivered once";
+  EXPECT_EQ(network_.messages_sent(), 2u) << "the wire carried two copies";
+}
+
+TEST_F(NetworkTest, FaultHookUninstallRestoresCleanPath) {
+  network_.Attach(1, &a_);
+  network_.Attach(2, &b_);
+  FixedFaultHook hook;
+  hook.decision.drop = true;
+  network_.SetFaultHook(&hook);
+  network_.SetFaultHook(nullptr);
+  network_.Send(1, 2, std::make_unique<TestMsg>());
+  sim_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(hook.calls, 0);
+}
+
+// --- RPC cancellation --------------------------------------------------------
+
+TEST_F(NetworkTest, CancelAllDropsPendingCallsWithoutCallbacks) {
+  EchoNode x(&network_, 1);
+  x.Start(&network_);
+  network_.Attach(2, &b_);  // alive but silent: the call would time out
+  int callbacks = 0;
+  x.rpc().Call(2, std::make_unique<TestMsg>(), 5 * kSecond,
+               [&](const Status&, MessagePtr) { ++callbacks; });
+  x.rpc().Call(2, std::make_unique<TestMsg>(), 5 * kSecond,
+               [&](const Status&, MessagePtr) { ++callbacks; });
+  EXPECT_EQ(x.rpc().pending_calls(), 2u);
+  EXPECT_EQ(x.rpc().CancelAll(), 2u);
+  EXPECT_EQ(x.rpc().pending_calls(), 0u);
+  sim_.Run();
+  EXPECT_EQ(callbacks, 0) << "cancelled calls must not fire handlers";
+  EXPECT_EQ(network_.traffic().rpc_cancelled, 2u);
+}
+
+TEST_F(NetworkTest, EndpointDestructionCancelsPendingCalls) {
+  {
+    EchoNode x(&network_, 1);
+    x.Start(&network_);
+    network_.Attach(2, &b_);
+    x.rpc().Call(2, std::make_unique<TestMsg>(), 5 * kSecond,
+                 [&](const Status&, MessagePtr) { FAIL(); });
+    network_.Detach(1);
+  }  // endpoint destroyed with one call in flight
+  sim_.Run();
+  EXPECT_EQ(network_.traffic().rpc_cancelled, 1u);
+}
+
 TEST_F(NetworkTest, LateResponseAfterTimeoutIsIgnored) {
   EchoNode x(&network_, 1), y(&network_, 2);
   x.Start(&network_);

@@ -152,7 +152,7 @@ TEST(QueryWorkloadTest, GapsAreExponentialWithConfiguredMean) {
   double sum = 0;
   const int kDraws = 50000;
   for (int i = 0; i < kDraws; ++i) {
-    sum += static_cast<double>(workload.NextQueryGap(rng));
+    sum += static_cast<double>(workload.NextQueryGap(0, rng));
   }
   EXPECT_NEAR(sum / kDraws, static_cast<double>(6 * kMinute),
               0.03 * 6 * kMinute);

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "chaos/scenario.h"
 #include "expt/experiment.h"
 #include "runner/json_export.h"
 #include "runner/sweep.h"
@@ -37,6 +38,9 @@ void Usage(const char* argv0) {
                "  --no-retain-cache     clear browser caches on re-join\n"
                "  --collab              enable directory collaboration (§3.2)\n"
                "  --no-petalup          disable elastic directory instances\n"
+               "  --chaos=FILE          fault-injection scenario JSON (see\n"
+               "                        docs/CHAOS.md); prints a recovery\n"
+               "                        summary after the run\n"
                "  --trials=N            independent trials per configuration\n"
                "                        (seeds derived from --seed; default 1)\n"
                "  --jobs=J              worker threads (default: all cores)\n"
@@ -44,7 +48,7 @@ void Usage(const char* argv0) {
                "                        'population=2000,3000;system=flower,"
                "squirrel;trials=4'\n"
                "                        (keys: population zipf uptime-min "
-               "system trials seed hours)\n"
+               "chaos system trials seed hours)\n"
                "  --json-out=PATH       write runner JSON (per-trial + "
                "aggregate)\n"
                "  --json-aggregate-only omit per-trial results from the JSON\n"
@@ -139,6 +143,12 @@ void PrintSingleRunTable(const CellResult& cell) {
   family_row("  flower traffic", r.traffic.flower);
   family_row("  squirrel traffic", r.traffic.squirrel);
   family_row("  dropped traffic", r.traffic.dropped);
+  if (r.traffic.injected_loss.messages > 0) {
+    family_row("  injected loss", r.traffic.injected_loss);
+  }
+  if (r.traffic.rpc_cancelled > 0) {
+    table.AddRow({"rpcs cancelled", std::to_string(r.traffic.rpc_cancelled)});
+  }
   table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
   table.AddRow({"churn failures", std::to_string(r.churn_failures)});
   table.AddRow({"sim events", std::to_string(r.events_processed)});
@@ -149,6 +159,60 @@ void PrintSingleRunTable(const CellResult& cell) {
                   std::to_string(r.flower_stats.promotions_triggered)});
     table.AddRow({"live directories",
                   std::to_string(r.flower_stats.live_directories)});
+  }
+  table.Print(std::cout);
+}
+
+/// Recovery summary for fault-injection runs: what the scenario did and how
+/// long the system took to get back to its pre-fault hit ratio.
+void PrintChaosSummary(const ChaosReport& chaos) {
+  std::printf("\nChaos recovery summary (scenario '%s'):\n",
+              chaos.scenario.c_str());
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"actions executed", std::to_string(chaos.actions_executed)});
+  table.AddRow({"injected loss drops",
+                std::to_string(chaos.faults.loss_drops)});
+  table.AddRow({"partition drops",
+                std::to_string(chaos.faults.partition_drops)});
+  table.AddRow({"delayed messages", std::to_string(chaos.faults.delayed)});
+  table.AddRow({"duplicate copies", std::to_string(chaos.faults.dup_copies)});
+  for (const auto& kill : chaos.directory_kills) {
+    std::string label = "dir kill ws=" + std::to_string(kill.website) +
+                        " loc=" + std::to_string(kill.locality);
+    std::string value;
+    if (!kill.had_directory) {
+      value = "no directory to kill";
+    } else if (kill.replacement_latency_ms < 0) {
+      value = "not replaced by run end";
+    } else {
+      value = "replaced in " +
+              FormatDouble(kill.replacement_latency_ms / 60000.0, 1) + " min";
+    }
+    table.AddRow({label, value});
+  }
+  for (const auto& p : chaos.partition_windows) {
+    std::string label = "partition loc" + std::to_string(p.loc_a) + "<->loc" +
+                        std::to_string(p.loc_b);
+    table.AddRow({label + " success during",
+                  FormatDouble(p.SuccessDuring(), 3) + " (" +
+                      std::to_string(p.queries_during) + " queries)"});
+    table.AddRow({label + " success after",
+                  FormatDouble(p.SuccessAfter(), 3) + " (" +
+                      std::to_string(p.queries_after) + " queries)"});
+  }
+  table.AddRow({"baseline hit ratio",
+                FormatDouble(chaos.baseline_hit_ratio, 3)});
+  table.AddRow({"dip minimum", FormatDouble(chaos.dip_min_hit_ratio, 3)});
+  if (chaos.hit_ratio_recovery_ms < 0) {
+    table.AddRow({"hit-ratio recovery", "not recovered by run end"});
+  } else if (chaos.hit_ratio_recovery_ms == 0) {
+    table.AddRow({"hit-ratio recovery", "never dipped"});
+  } else {
+    table.AddRow({"hit-ratio recovery",
+                  FormatDouble(static_cast<double>(chaos.hit_ratio_recovery_ms)
+                                   / 60000.0,
+                               1) +
+                      " min"});
   }
   table.Print(std::cout);
 }
@@ -199,6 +263,38 @@ void PrintAggregateTable(const std::vector<CellResult>& cells) {
   table.Print(std::cout);
 }
 
+/// Chaos recovery metrics per sweep cell, mean ±95% CI. Prints nothing when
+/// no cell ran a scenario.
+void PrintAggregateChaosTable(const std::vector<CellResult>& cells) {
+  bool any = false;
+  for (const CellResult& cell : cells) any |= cell.aggregate.chaos_enabled;
+  if (!any) return;
+  std::printf("\nChaos recovery (mean ±95%% CI over trials):\n");
+  TablePrinter table({"configuration", "replace_min", "hit_dip",
+                      "recovery_min", "succ_during", "succ_after",
+                      "inj_drops"});
+  for (const CellResult& cell : cells) {
+    const AggregateResult& a = cell.aggregate;
+    if (!a.chaos_enabled) {
+      table.AddRow({cell.label, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    MetricSummary replace_min = a.chaos_replacement_latency_ms;
+    replace_min.mean /= 60000.0;
+    replace_min.ci95_half /= 60000.0;
+    MetricSummary recovery_min = a.chaos_recovery_ms;
+    recovery_min.mean /= 60000.0;
+    recovery_min.ci95_half /= 60000.0;
+    table.AddRow({cell.label, PlusMinus(replace_min, 1),
+                  PlusMinus(a.chaos_hit_ratio_dip, 3),
+                  PlusMinus(recovery_min, 1),
+                  PlusMinus(a.chaos_success_during_partition, 3),
+                  PlusMinus(a.chaos_success_after_partition, 3),
+                  PlusMinus(a.chaos_injected_drops, 0)});
+  }
+  table.Print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +302,7 @@ int main(int argc, char** argv) {
   std::string system_name = "flower";
   std::string csv_prefix;
   std::string sweep_spec;
+  std::string chaos_file;
   std::string json_out;
   std::string trace_out;
   bool json_include_trials = true;
@@ -260,6 +357,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       jobs = value;
+    } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
+      chaos_file = arg + 8;
     } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
       sweep_spec = arg + 8;
     } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
@@ -283,6 +382,15 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
       return 2;
     }
+  }
+
+  if (!chaos_file.empty()) {
+    Result<ScenarioScript> script = ScenarioScript::LoadFile(chaos_file);
+    if (!script.ok()) {
+      std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+      return 2;
+    }
+    config.chaos = std::move(*script);
   }
 
   // Assemble the sweep: --sweep clauses layer over the scalar flags; a
@@ -319,6 +427,9 @@ int main(int argc, char** argv) {
 
   if (cells.size() == 1 && cells[0].trials.size() == 1) {
     PrintSingleRunTable(cells[0]);
+    if (cells[0].trials[0].chaos.enabled) {
+      PrintChaosSummary(cells[0].trials[0].chaos);
+    }
     if (!csv_prefix.empty()) {
       WriteCsv(csv_prefix, cells[0].trials[0]);
       std::printf("\nCSV series written to %s.{timeseries,lookup,transfer}"
@@ -343,6 +454,7 @@ int main(int argc, char** argv) {
     }
   } else {
     PrintAggregateTable(cells);
+    PrintAggregateChaosTable(cells);
     if (!csv_prefix.empty()) {
       std::fprintf(stderr,
                    "--csv applies to single-trial runs; use --json-out for "
