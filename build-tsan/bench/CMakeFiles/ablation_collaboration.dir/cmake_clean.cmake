@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collaboration.dir/ablation_collaboration.cc.o"
+  "CMakeFiles/ablation_collaboration.dir/ablation_collaboration.cc.o.d"
+  "ablation_collaboration"
+  "ablation_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_resilience.dir/chaos_resilience.cc.o"
+  "CMakeFiles/chaos_resilience.dir/chaos_resilience.cc.o.d"
+  "chaos_resilience"
+  "chaos_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

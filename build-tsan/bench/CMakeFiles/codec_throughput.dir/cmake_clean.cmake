@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_throughput.dir/codec_throughput.cc.o"
+  "CMakeFiles/codec_throughput.dir/codec_throughput.cc.o.d"
+  "codec_throughput"
+  "codec_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_transfer_distance.dir/fig5_transfer_distance.cc.o"
+  "CMakeFiles/fig5_transfer_distance.dir/fig5_transfer_distance.cc.o.d"
+  "fig5_transfer_distance"
+  "fig5_transfer_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_transfer_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

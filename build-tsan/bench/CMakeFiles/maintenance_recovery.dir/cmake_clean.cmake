@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_recovery.dir/maintenance_recovery.cc.o"
+  "CMakeFiles/maintenance_recovery.dir/maintenance_recovery.cc.o.d"
+  "maintenance_recovery"
+  "maintenance_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_accounting.dir/overhead_accounting.cc.o"
+  "CMakeFiles/overhead_accounting.dir/overhead_accounting.cc.o.d"
+  "overhead_accounting"
+  "overhead_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

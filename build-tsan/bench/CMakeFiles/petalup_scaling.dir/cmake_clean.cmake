@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petalup_scaling.dir/petalup_scaling.cc.o"
+  "CMakeFiles/petalup_scaling.dir/petalup_scaling.cc.o.d"
+  "petalup_scaling"
+  "petalup_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petalup_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_modes.dir/squirrel_modes.cc.o"
+  "CMakeFiles/squirrel_modes.dir/squirrel_modes.cc.o.d"
+  "squirrel_modes"
+  "squirrel_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

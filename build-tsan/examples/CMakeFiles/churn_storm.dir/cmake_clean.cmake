@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_storm.dir/churn_storm.cpp.o"
+  "CMakeFiles/churn_storm.dir/churn_storm.cpp.o.d"
+  "churn_storm"
+  "churn_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

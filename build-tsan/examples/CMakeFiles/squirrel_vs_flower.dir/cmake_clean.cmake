@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_vs_flower.dir/squirrel_vs_flower.cpp.o"
+  "CMakeFiles/squirrel_vs_flower.dir/squirrel_vs_flower.cpp.o.d"
+  "squirrel_vs_flower"
+  "squirrel_vs_flower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_vs_flower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for squirrel_vs_flower.
+# This may be replaced when dependencies are built.

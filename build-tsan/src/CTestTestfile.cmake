@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("chord")
+subdirs("gossip")
+subdirs("storage")
+subdirs("metrics")
+subdirs("obs")
+subdirs("chaos")
+subdirs("squirrel")
+subdirs("flower")
+subdirs("wire")
+subdirs("expt")
+subdirs("runner")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_chaos.dir/engine.cc.o"
+  "CMakeFiles/flowercdn_chaos.dir/engine.cc.o.d"
+  "CMakeFiles/flowercdn_chaos.dir/fault_injector.cc.o"
+  "CMakeFiles/flowercdn_chaos.dir/fault_injector.cc.o.d"
+  "CMakeFiles/flowercdn_chaos.dir/probe.cc.o"
+  "CMakeFiles/flowercdn_chaos.dir/probe.cc.o.d"
+  "CMakeFiles/flowercdn_chaos.dir/scenario.cc.o"
+  "CMakeFiles/flowercdn_chaos.dir/scenario.cc.o.d"
+  "libflowercdn_chaos.a"
+  "libflowercdn_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflowercdn_chaos.a"
+)

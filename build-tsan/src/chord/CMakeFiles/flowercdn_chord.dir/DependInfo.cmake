@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/chord_node.cc" "src/chord/CMakeFiles/flowercdn_chord.dir/chord_node.cc.o" "gcc" "src/chord/CMakeFiles/flowercdn_chord.dir/chord_node.cc.o.d"
+  "/root/repo/src/chord/finger_table.cc" "src/chord/CMakeFiles/flowercdn_chord.dir/finger_table.cc.o" "gcc" "src/chord/CMakeFiles/flowercdn_chord.dir/finger_table.cc.o.d"
+  "/root/repo/src/chord/id.cc" "src/chord/CMakeFiles/flowercdn_chord.dir/id.cc.o" "gcc" "src/chord/CMakeFiles/flowercdn_chord.dir/id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/flowercdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/flowercdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_chord.dir/chord_node.cc.o"
+  "CMakeFiles/flowercdn_chord.dir/chord_node.cc.o.d"
+  "CMakeFiles/flowercdn_chord.dir/finger_table.cc.o"
+  "CMakeFiles/flowercdn_chord.dir/finger_table.cc.o.d"
+  "CMakeFiles/flowercdn_chord.dir/id.cc.o"
+  "CMakeFiles/flowercdn_chord.dir/id.cc.o.d"
+  "libflowercdn_chord.a"
+  "libflowercdn_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

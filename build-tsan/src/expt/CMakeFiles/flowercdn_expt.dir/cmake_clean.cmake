@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_expt.dir/analysis.cc.o"
+  "CMakeFiles/flowercdn_expt.dir/analysis.cc.o.d"
+  "CMakeFiles/flowercdn_expt.dir/env.cc.o"
+  "CMakeFiles/flowercdn_expt.dir/env.cc.o.d"
+  "CMakeFiles/flowercdn_expt.dir/experiment.cc.o"
+  "CMakeFiles/flowercdn_expt.dir/experiment.cc.o.d"
+  "CMakeFiles/flowercdn_expt.dir/flower_system.cc.o"
+  "CMakeFiles/flowercdn_expt.dir/flower_system.cc.o.d"
+  "CMakeFiles/flowercdn_expt.dir/squirrel_system.cc.o"
+  "CMakeFiles/flowercdn_expt.dir/squirrel_system.cc.o.d"
+  "libflowercdn_expt.a"
+  "libflowercdn_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

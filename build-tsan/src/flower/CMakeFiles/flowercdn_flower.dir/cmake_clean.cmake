@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_flower.dir/directory_index.cc.o"
+  "CMakeFiles/flowercdn_flower.dir/directory_index.cc.o.d"
+  "CMakeFiles/flowercdn_flower.dir/dring.cc.o"
+  "CMakeFiles/flowercdn_flower.dir/dring.cc.o.d"
+  "CMakeFiles/flowercdn_flower.dir/dring_resolver.cc.o"
+  "CMakeFiles/flowercdn_flower.dir/dring_resolver.cc.o.d"
+  "CMakeFiles/flowercdn_flower.dir/flower_peer.cc.o"
+  "CMakeFiles/flowercdn_flower.dir/flower_peer.cc.o.d"
+  "libflowercdn_flower.a"
+  "libflowercdn_flower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_flower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

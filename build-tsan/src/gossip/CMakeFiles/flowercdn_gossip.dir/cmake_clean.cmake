@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_gossip.dir/cyclon.cc.o"
+  "CMakeFiles/flowercdn_gossip.dir/cyclon.cc.o.d"
+  "CMakeFiles/flowercdn_gossip.dir/view.cc.o"
+  "CMakeFiles/flowercdn_gossip.dir/view.cc.o.d"
+  "libflowercdn_gossip.a"
+  "libflowercdn_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

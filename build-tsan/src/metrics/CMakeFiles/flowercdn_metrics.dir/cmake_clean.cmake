@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/flowercdn_metrics.dir/metrics.cc.o.d"
+  "libflowercdn_metrics.a"
+  "libflowercdn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

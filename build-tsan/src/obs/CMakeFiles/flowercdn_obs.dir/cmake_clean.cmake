@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_obs.dir/sampler.cc.o"
+  "CMakeFiles/flowercdn_obs.dir/sampler.cc.o.d"
+  "CMakeFiles/flowercdn_obs.dir/stats.cc.o"
+  "CMakeFiles/flowercdn_obs.dir/stats.cc.o.d"
+  "CMakeFiles/flowercdn_obs.dir/trace.cc.o"
+  "CMakeFiles/flowercdn_obs.dir/trace.cc.o.d"
+  "libflowercdn_obs.a"
+  "libflowercdn_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_runner.dir/aggregate.cc.o"
+  "CMakeFiles/flowercdn_runner.dir/aggregate.cc.o.d"
+  "CMakeFiles/flowercdn_runner.dir/json_export.cc.o"
+  "CMakeFiles/flowercdn_runner.dir/json_export.cc.o.d"
+  "CMakeFiles/flowercdn_runner.dir/sweep.cc.o"
+  "CMakeFiles/flowercdn_runner.dir/sweep.cc.o.d"
+  "CMakeFiles/flowercdn_runner.dir/trial_runner.cc.o"
+  "CMakeFiles/flowercdn_runner.dir/trial_runner.cc.o.d"
+  "libflowercdn_runner.a"
+  "libflowercdn_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

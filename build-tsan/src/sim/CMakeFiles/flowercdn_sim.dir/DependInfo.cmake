@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/churn.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/churn.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/churn.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/rpc.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/rpc.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/rpc.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/flowercdn_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/flowercdn_sim.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/flowercdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

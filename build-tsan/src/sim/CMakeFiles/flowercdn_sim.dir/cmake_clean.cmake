@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_sim.dir/churn.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/churn.cc.o.d"
+  "CMakeFiles/flowercdn_sim.dir/event_queue.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/flowercdn_sim.dir/network.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/network.cc.o.d"
+  "CMakeFiles/flowercdn_sim.dir/rpc.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/rpc.cc.o.d"
+  "CMakeFiles/flowercdn_sim.dir/simulator.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/flowercdn_sim.dir/topology.cc.o"
+  "CMakeFiles/flowercdn_sim.dir/topology.cc.o.d"
+  "libflowercdn_sim.a"
+  "libflowercdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

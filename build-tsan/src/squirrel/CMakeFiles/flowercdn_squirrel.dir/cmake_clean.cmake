@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_squirrel.dir/squirrel_peer.cc.o"
+  "CMakeFiles/flowercdn_squirrel.dir/squirrel_peer.cc.o.d"
+  "libflowercdn_squirrel.a"
+  "libflowercdn_squirrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_squirrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/content_store.cc" "src/storage/CMakeFiles/flowercdn_storage.dir/content_store.cc.o" "gcc" "src/storage/CMakeFiles/flowercdn_storage.dir/content_store.cc.o.d"
+  "/root/repo/src/storage/keywords.cc" "src/storage/CMakeFiles/flowercdn_storage.dir/keywords.cc.o" "gcc" "src/storage/CMakeFiles/flowercdn_storage.dir/keywords.cc.o.d"
+  "/root/repo/src/storage/origin.cc" "src/storage/CMakeFiles/flowercdn_storage.dir/origin.cc.o" "gcc" "src/storage/CMakeFiles/flowercdn_storage.dir/origin.cc.o.d"
+  "/root/repo/src/storage/website.cc" "src/storage/CMakeFiles/flowercdn_storage.dir/website.cc.o" "gcc" "src/storage/CMakeFiles/flowercdn_storage.dir/website.cc.o.d"
+  "/root/repo/src/storage/workload.cc" "src/storage/CMakeFiles/flowercdn_storage.dir/workload.cc.o" "gcc" "src/storage/CMakeFiles/flowercdn_storage.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/flowercdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chord/CMakeFiles/flowercdn_chord.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/flowercdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_storage.dir/content_store.cc.o"
+  "CMakeFiles/flowercdn_storage.dir/content_store.cc.o.d"
+  "CMakeFiles/flowercdn_storage.dir/keywords.cc.o"
+  "CMakeFiles/flowercdn_storage.dir/keywords.cc.o.d"
+  "CMakeFiles/flowercdn_storage.dir/origin.cc.o"
+  "CMakeFiles/flowercdn_storage.dir/origin.cc.o.d"
+  "CMakeFiles/flowercdn_storage.dir/website.cc.o"
+  "CMakeFiles/flowercdn_storage.dir/website.cc.o.d"
+  "CMakeFiles/flowercdn_storage.dir/workload.cc.o"
+  "CMakeFiles/flowercdn_storage.dir/workload.cc.o.d"
+  "libflowercdn_storage.a"
+  "libflowercdn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

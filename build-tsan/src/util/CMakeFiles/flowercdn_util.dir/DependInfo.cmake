@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bloom_filter.cc" "src/util/CMakeFiles/flowercdn_util.dir/bloom_filter.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/util/CMakeFiles/flowercdn_util.dir/hash.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/flowercdn_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/flowercdn_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/flowercdn_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/flowercdn_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/flowercdn_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/flowercdn_util.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_util.dir/bloom_filter.cc.o"
+  "CMakeFiles/flowercdn_util.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/hash.cc.o"
+  "CMakeFiles/flowercdn_util.dir/hash.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/histogram.cc.o"
+  "CMakeFiles/flowercdn_util.dir/histogram.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/logging.cc.o"
+  "CMakeFiles/flowercdn_util.dir/logging.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/random.cc.o"
+  "CMakeFiles/flowercdn_util.dir/random.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/status.cc.o"
+  "CMakeFiles/flowercdn_util.dir/status.cc.o.d"
+  "CMakeFiles/flowercdn_util.dir/table_printer.cc.o"
+  "CMakeFiles/flowercdn_util.dir/table_printer.cc.o.d"
+  "libflowercdn_util.a"
+  "libflowercdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

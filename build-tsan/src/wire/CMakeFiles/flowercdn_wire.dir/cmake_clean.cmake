@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_wire.dir/codec.cc.o"
+  "CMakeFiles/flowercdn_wire.dir/codec.cc.o.d"
+  "CMakeFiles/flowercdn_wire.dir/sample_messages.cc.o"
+  "CMakeFiles/flowercdn_wire.dir/sample_messages.cc.o.d"
+  "CMakeFiles/flowercdn_wire.dir/udp_transport.cc.o"
+  "CMakeFiles/flowercdn_wire.dir/udp_transport.cc.o.d"
+  "libflowercdn_wire.a"
+  "libflowercdn_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_engine_test.dir/chaos_engine_test.cc.o"
+  "CMakeFiles/chaos_engine_test.dir/chaos_engine_test.cc.o.d"
+  "chaos_engine_test"
+  "chaos_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

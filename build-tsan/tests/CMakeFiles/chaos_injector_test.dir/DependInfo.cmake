@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_injector_test.cc" "tests/CMakeFiles/chaos_injector_test.dir/chaos_injector_test.cc.o" "gcc" "tests/CMakeFiles/chaos_injector_test.dir/chaos_injector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runner/CMakeFiles/flowercdn_runner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/expt/CMakeFiles/flowercdn_expt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chaos/CMakeFiles/flowercdn_chaos.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wire/CMakeFiles/flowercdn_wire.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/squirrel/CMakeFiles/flowercdn_squirrel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flower/CMakeFiles/flowercdn_flower.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gossip/CMakeFiles/flowercdn_gossip.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/flowercdn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/flowercdn_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/flowercdn_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/chord/CMakeFiles/flowercdn_chord.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/flowercdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/flowercdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_injector_test.dir/chaos_injector_test.cc.o"
+  "CMakeFiles/chaos_injector_test.dir/chaos_injector_test.cc.o.d"
+  "chaos_injector_test"
+  "chaos_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

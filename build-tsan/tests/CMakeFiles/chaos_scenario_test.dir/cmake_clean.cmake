@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_scenario_test.dir/chaos_scenario_test.cc.o"
+  "CMakeFiles/chaos_scenario_test.dir/chaos_scenario_test.cc.o.d"
+  "chaos_scenario_test"
+  "chaos_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_churn_test.dir/chord_churn_test.cc.o"
+  "CMakeFiles/chord_churn_test.dir/chord_churn_test.cc.o.d"
+  "chord_churn_test"
+  "chord_churn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_id_test.dir/chord_id_test.cc.o"
+  "CMakeFiles/chord_id_test.dir/chord_id_test.cc.o.d"
+  "chord_id_test"
+  "chord_id_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_partition_test.dir/chord_partition_test.cc.o"
+  "CMakeFiles/chord_partition_test.dir/chord_partition_test.cc.o.d"
+  "chord_partition_test"
+  "chord_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

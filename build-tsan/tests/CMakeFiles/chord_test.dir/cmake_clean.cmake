@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_test.dir/chord_test.cc.o"
+  "CMakeFiles/chord_test.dir/chord_test.cc.o.d"
+  "chord_test"
+  "chord_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_defaults_test.dir/config_defaults_test.cc.o"
+  "CMakeFiles/config_defaults_test.dir/config_defaults_test.cc.o.d"
+  "config_defaults_test"
+  "config_defaults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_defaults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dring_resolver_test.dir/dring_resolver_test.cc.o"
+  "CMakeFiles/dring_resolver_test.dir/dring_resolver_test.cc.o.d"
+  "dring_resolver_test"
+  "dring_resolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dring_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expt_test.dir/expt_test.cc.o"
+  "CMakeFiles/expt_test.dir/expt_test.cc.o.d"
+  "expt_test"
+  "expt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_dring_test.dir/flower_dring_test.cc.o"
+  "CMakeFiles/flower_dring_test.dir/flower_dring_test.cc.o.d"
+  "flower_dring_test"
+  "flower_dring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_dring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

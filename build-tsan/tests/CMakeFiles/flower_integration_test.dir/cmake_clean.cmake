@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_integration_test.dir/flower_integration_test.cc.o"
+  "CMakeFiles/flower_integration_test.dir/flower_integration_test.cc.o.d"
+  "flower_integration_test"
+  "flower_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_maintenance_test.dir/flower_maintenance_test.cc.o"
+  "CMakeFiles/flower_maintenance_test.dir/flower_maintenance_test.cc.o.d"
+  "flower_maintenance_test"
+  "flower_maintenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flower_peer_test.dir/flower_peer_test.cc.o"
+  "CMakeFiles/flower_peer_test.dir/flower_peer_test.cc.o.d"
+  "flower_peer_test"
+  "flower_peer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flower_peer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

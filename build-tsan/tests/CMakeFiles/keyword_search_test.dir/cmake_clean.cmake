@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_search_test.dir/keyword_search_test.cc.o"
+  "CMakeFiles/keyword_search_test.dir/keyword_search_test.cc.o.d"
+  "keyword_search_test"
+  "keyword_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_sampler_test.dir/obs_sampler_test.cc.o"
+  "CMakeFiles/obs_sampler_test.dir/obs_sampler_test.cc.o.d"
+  "obs_sampler_test"
+  "obs_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

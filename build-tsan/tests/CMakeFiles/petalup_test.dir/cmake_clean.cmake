@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petalup_test.dir/petalup_test.cc.o"
+  "CMakeFiles/petalup_test.dir/petalup_test.cc.o.d"
+  "petalup_test"
+  "petalup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petalup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_determinism_test.dir/runner_determinism_test.cc.o"
+  "CMakeFiles/runner_determinism_test.dir/runner_determinism_test.cc.o.d"
+  "runner_determinism_test"
+  "runner_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_topology_test.dir/sim_topology_test.cc.o"
+  "CMakeFiles/sim_topology_test.dir/sim_topology_test.cc.o.d"
+  "sim_topology_test"
+  "sim_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

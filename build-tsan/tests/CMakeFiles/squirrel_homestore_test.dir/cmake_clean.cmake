@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_homestore_test.dir/squirrel_homestore_test.cc.o"
+  "CMakeFiles/squirrel_homestore_test.dir/squirrel_homestore_test.cc.o.d"
+  "squirrel_homestore_test"
+  "squirrel_homestore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_homestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

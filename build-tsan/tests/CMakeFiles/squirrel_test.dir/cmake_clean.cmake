@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squirrel_test.dir/squirrel_test.cc.o"
+  "CMakeFiles/squirrel_test.dir/squirrel_test.cc.o.d"
+  "squirrel_test"
+  "squirrel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squirrel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

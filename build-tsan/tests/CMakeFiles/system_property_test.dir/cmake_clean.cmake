@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_property_test.dir/system_property_test.cc.o"
+  "CMakeFiles/system_property_test.dir/system_property_test.cc.o.d"
+  "system_property_test"
+  "system_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

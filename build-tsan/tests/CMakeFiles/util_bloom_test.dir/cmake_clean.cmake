@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bloom_test.dir/util_bloom_test.cc.o"
+  "CMakeFiles/util_bloom_test.dir/util_bloom_test.cc.o.d"
+  "util_bloom_test"
+  "util_bloom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_function_test.dir/util_function_test.cc.o"
+  "CMakeFiles/util_function_test.dir/util_function_test.cc.o.d"
+  "util_function_test"
+  "util_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

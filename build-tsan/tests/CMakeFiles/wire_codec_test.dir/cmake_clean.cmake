@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_codec_test.dir/wire_codec_test.cc.o"
+  "CMakeFiles/wire_codec_test.dir/wire_codec_test.cc.o.d"
+  "wire_codec_test"
+  "wire_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

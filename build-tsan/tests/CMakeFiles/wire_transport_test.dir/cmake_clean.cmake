@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_transport_test.dir/wire_transport_test.cc.o"
+  "CMakeFiles/wire_transport_test.dir/wire_transport_test.cc.o.d"
+  "wire_transport_test"
+  "wire_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

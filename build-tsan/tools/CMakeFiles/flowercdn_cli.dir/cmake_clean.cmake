@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_cli.dir/flowercdn_sim.cc.o"
+  "CMakeFiles/flowercdn_cli.dir/flowercdn_sim.cc.o.d"
+  "flowercdn-sim"
+  "flowercdn-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

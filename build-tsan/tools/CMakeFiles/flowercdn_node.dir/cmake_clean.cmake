@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowercdn_node.dir/flowercdn_node.cc.o"
+  "CMakeFiles/flowercdn_node.dir/flowercdn_node.cc.o.d"
+  "flowercdn-node"
+  "flowercdn-node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowercdn_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,8 +6,10 @@ Validates that
   * a --trace-out file is well-formed Chrome trace-event JSON that
     chrome://tracing / Perfetto will accept (object form, "traceEvents"
     list, complete events with integer ts/dur), and
-  * a --json-out file follows the flowercdn-runner/v3 schema, in
-    particular the per-trial "overhead", "overlay" and "chaos" sections.
+  * a --json-out file follows the flowercdn-runner/v4 schema, in
+    particular the per-trial "overhead", "overlay" and "chaos" sections
+    and the per-cell "wire_mode" label (v4 added the "nack" traffic
+    family and the wire_mode cell key).
 
 Usage:
   check_obs_output.py --trace trace.json --runner out.json [--chaos]
@@ -21,8 +23,9 @@ import argparse
 import json
 import sys
 
-TRAFFIC_FAMILIES = ("chord", "gossip", "flower", "squirrel", "other",
+TRAFFIC_FAMILIES = ("chord", "gossip", "flower", "squirrel", "nack", "other",
                     "dropped", "injected_loss")
+WIRE_MODES = ("modeled", "encoded")
 PHASE_NAMES = ("dring_resolve", "dir_query", "summary_probe", "fetch",
                "origin")
 
@@ -190,9 +193,9 @@ def check_trial(trial, where):
 def check_runner(path, expect_chaos=False):
     with open(path) as f:
         doc = json.load(f)
-    require(doc.get("schema") == "flowercdn-runner/v3",
+    require(doc.get("schema") == "flowercdn-runner/v4",
             f"runner: schema is {doc.get('schema')!r}, "
-            f"want flowercdn-runner/v3")
+            f"want flowercdn-runner/v4")
     cells = doc.get("cells")
     require(isinstance(cells, list) and cells, "runner: no cells")
     n_trials = 0
@@ -200,6 +203,9 @@ def check_runner(path, expect_chaos=False):
     for ci, cell in enumerate(cells):
         require(isinstance(cell.get("scenario"), str),
                 f'runner: cell {ci} lacks the "scenario" label')
+        require(cell.get("wire_mode") in WIRE_MODES,
+                f'runner: cell {ci} "wire_mode" must be one of '
+                f"{WIRE_MODES}, got {cell.get('wire_mode')!r}")
         for hist in ("lookup_all", "lookup_hits"):
             h = cell["aggregate"]["histograms"][hist]
             require("p99" in h, f"runner: cell {ci} {hist} lacks p99")

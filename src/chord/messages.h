@@ -30,6 +30,13 @@ inline bool IsChordMessage(MessageType t) {
   return t >= kChordMessageBase && t < kChordMessageBase + 100;
 }
 
+/// Modeled size of the optional-predecessor + successor-list payload
+/// shared by the stabilization reply and the graceful-leave handoff (1-byte
+/// flag + 16-byte RingPeer each).
+inline size_t NeighborListBytes(const std::vector<RingPeer>& successors) {
+  return 17 + 16 * successors.size();
+}
+
 /// Recursive lookup step: forwarded hop by hop toward successor(key). The
 /// receiving hop immediately acks (failure detection) and either answers
 /// the origin directly or forwards further.
@@ -65,7 +72,7 @@ struct ChordGetNeighborsMsg : Message {
 struct ChordNeighborsReplyMsg : Message {
   ChordNeighborsReplyMsg() { type = kChordNeighborsReply; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 17 + 16 * successors.size();
+    return kHeaderBytes + NeighborListBytes(successors);
   }
   bool has_predecessor = false;
   RingPeer predecessor;
@@ -117,7 +124,7 @@ struct ChordPongMsg : Message {
 struct ChordLeaveMsg : Message {
   ChordLeaveMsg() { type = kChordLeave; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 17 + 16 * successors.size();
+    return kHeaderBytes + NeighborListBytes(successors);
   }
   bool has_predecessor = false;
   RingPeer predecessor;

@@ -7,6 +7,7 @@
 #include "flower/params.h"
 #include "metrics/metrics.h"
 #include "sim/churn.h"
+#include "sim/network.h"
 #include "sim/topology.h"
 #include "squirrel/squirrel_peer.h"
 #include "storage/origin.h"
@@ -69,6 +70,12 @@ struct ExperimentConfig {
   /// chaos engine entirely and leaves the run bit-identical to before the
   /// engine existed.
   ScenarioScript chaos;
+
+  /// How traffic is sized: modeled SizeBytes() estimates (default, the
+  /// historical behavior) or actual src/wire encoded lengths. Only the
+  /// reported byte counters change — delivery timing and protocol behavior
+  /// are identical in both modes.
+  WireMode wire_mode = WireMode::kModeled;
 
   /// Arrival rate (peers per ms): the override when set, else the rate
   /// P/m that keeps the population at P.

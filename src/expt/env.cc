@@ -1,6 +1,7 @@
 #include "expt/env.h"
 
 #include "util/logging.h"
+#include "wire/codec.h"
 
 namespace flowercdn {
 
@@ -30,6 +31,9 @@ ExperimentEnv::ExperimentEnv(const ExperimentConfig& config)
       stats_([this] { return sim_.now(); }, config.stats_interval) {
   if (config_.collect_traces) {
     trace_ = std::make_shared<TraceCollector>(config_.trace_max_queries);
+  }
+  if (config_.wire_mode == WireMode::kEncoded) {
+    network_.SetMessageSizer(&WireEncodedSize);
   }
   const size_t universe = config_.UniverseSize();
   const int k = config_.topology.num_localities;

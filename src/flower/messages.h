@@ -47,6 +47,14 @@ struct DirInfo {
   uint32_t age = 0;
 };
 
+/// Modeled size of the symmetric gossip payload (contacts + content
+/// summary + dir-info) — one helper instead of per-message copies, so the
+/// estimate stays testable against the src/wire encoded length.
+inline size_t GossipPayloadBytes(const std::vector<Contact>& contacts,
+                                 const BloomFilter& summary) {
+  return 16 + ContactsBytes(contacts) + summary.SizeBytes();
+}
+
 /// Client -> directory peer: resolve a query and/or admit me to the petal.
 /// Routed to d^0(ws, loc) over the D-ring for new clients; sent directly
 /// (dir-info) by content peers.
@@ -78,7 +86,7 @@ enum class DirQueryResult : uint8_t {
 struct FlowerDirQueryReplyMsg : Message {
   FlowerDirQueryReplyMsg() { type = kFlowerDirQueryReply; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 24 + 12 * view_seed.size();
+    return kHeaderBytes + 24 + ContactsBytes(view_seed);
   }
   DirQueryResult result = DirQueryResult::kMiss;
   PeerId provider = kInvalidPeer;
@@ -108,7 +116,7 @@ struct FlowerFetchReplyMsg : Message {
 struct FlowerGossipMsg : Message {
   FlowerGossipMsg() { type = kFlowerGossip; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 16 + 12 * contacts.size() + summary.SizeBytes();
+    return kHeaderBytes + GossipPayloadBytes(contacts, summary);
   }
   std::vector<Contact> contacts;
   BloomFilter summary;
@@ -118,7 +126,7 @@ struct FlowerGossipMsg : Message {
 struct FlowerGossipReplyMsg : Message {
   FlowerGossipReplyMsg() { type = kFlowerGossipReply; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 16 + 12 * contacts.size() + summary.SizeBytes();
+    return kHeaderBytes + GossipPayloadBytes(contacts, summary);
   }
   std::vector<Contact> contacts;
   BloomFilter summary;
@@ -174,7 +182,7 @@ struct FlowerDirHandoffMsg : Message {
     for (const auto& [peer, objects] : index.peers) {
       index_bytes += 8 + 8 * objects.size();
     }
-    return kHeaderBytes + 12 + 12 * view.size() + index_bytes;
+    return kHeaderBytes + 12 + ContactsBytes(view) + index_bytes;
   }
   WebsiteId website = 0;
   LocalityId locality = 0;
@@ -192,7 +200,7 @@ struct FlowerDirHandoffMsg : Message {
 struct FlowerForwardedQueryMsg : Message {
   FlowerForwardedQueryMsg() { type = kFlowerForwardedQuery; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 16 + 12 * view_seed.size();
+    return kHeaderBytes + 16 + ContactsBytes(view_seed);
   }
   ObjectId object;
   /// Admission state decided by the directory, relayed to the client.

@@ -27,7 +27,7 @@ inline bool IsGossipMessage(MessageType t) {
 struct GossipShuffleMsg : Message {
   GossipShuffleMsg() { type = kGossipShuffle; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 12 * contacts.size();
+    return kHeaderBytes + ContactsBytes(contacts);
   }
   std::vector<Contact> contacts;
 };
@@ -35,7 +35,7 @@ struct GossipShuffleMsg : Message {
 struct GossipShuffleReplyMsg : Message {
   GossipShuffleReplyMsg() { type = kGossipShuffleReply; }
   size_t SizeBytes() const override {
-    return kHeaderBytes + 12 * contacts.size();
+    return kHeaderBytes + ContactsBytes(contacts);
   }
   std::vector<Contact> contacts;
 };

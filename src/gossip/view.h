@@ -19,6 +19,13 @@ struct Contact {
   uint32_t age = 0;
 };
 
+/// Modeled wire size of a contact list (8-byte peer + 4-byte age each) —
+/// the single source for every message estimate that ships contacts, kept
+/// in lockstep with the src/wire binary encoding.
+inline size_t ContactsBytes(const std::vector<Contact>& contacts) {
+  return 12 * contacts.size();
+}
+
 /// A partial view of a cluster: bounded or unbounded list of aged contacts.
 /// Flower-CDN content peers keep a view of their petal(ws, loc); the paper
 /// leaves views unbounded (they "never surpass 30" in the petal sizes

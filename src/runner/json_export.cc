@@ -213,6 +213,8 @@ void WriteOverhead(JsonWriter& w, const ExperimentResult& r) {
                      &Network::TrafficBreakdown::squirrel);
   WriteTrafficFamily(w, "other", r.traffic.other, r.traffic_series,
                      &Network::TrafficBreakdown::other);
+  WriteTrafficFamily(w, "nack", r.traffic.nack, r.traffic_series,
+                     &Network::TrafficBreakdown::nack);
   WriteTrafficFamily(w, "dropped", r.traffic.dropped, r.traffic_series,
                      &Network::TrafficBreakdown::dropped);
   WriteTrafficFamily(w, "injected_loss", r.traffic.injected_loss,
@@ -413,7 +415,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     bool include_trials) {
   JsonWriter w(os);
   w.BeginObject();
-  w.Key("schema").Value("flowercdn-runner/v3");
+  w.Key("schema").Value("flowercdn-runner/v4");
   w.Key("base_seed").Value(base_seed);
   w.Key("cells").BeginArray();
   for (const CellResult& cell : cells) {
@@ -428,6 +430,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
         static_cast<uint64_t>(cell.config.mean_uptime / kMinute));
     w.Key("churn").Value(cell.config.churn_enabled);
     w.Key("scenario").Value(cell.config.chaos.name);
+    w.Key("wire_mode").Value(WireModeName(cell.config.wire_mode));
     w.Key("aggregate");
     WriteAggregate(w, cell.aggregate);
     if (include_trials) {

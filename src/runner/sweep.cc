@@ -97,6 +97,21 @@ Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
       continue;
     }
 
+    if (key == "wire") {
+      for (std::string_view v : values) {
+        if (v == "modeled") {
+          sweep.wire_modes.push_back(WireMode::kModeled);
+        } else if (v == "encoded") {
+          sweep.wire_modes.push_back(WireMode::kEncoded);
+        } else {
+          return Status::InvalidArgument("sweep: unknown wire mode '" +
+                                         std::string(v) +
+                                         "' (want modeled|encoded)");
+        }
+      }
+      continue;
+    }
+
     if (key == "system") {
       for (std::string_view v : values) {
         Result<SystemChoice> choice = ParseSystemChoice(v);
@@ -149,8 +164,8 @@ Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
     } else {
       return Status::InvalidArgument(
           "sweep: unknown key '" + std::string(key) +
-          "' (want population|zipf|uptime-min|chaos|system|trials|seed|"
-          "hours)");
+          "' (want population|zipf|uptime-min|chaos|system|wire|trials|"
+          "seed|hours)");
     }
   }
   return sweep;
@@ -163,6 +178,7 @@ size_t SweepSpec::NumCells() const {
   if (!mean_uptimes.empty()) cells *= mean_uptimes.size();
   if (!scenarios.empty()) cells *= scenarios.size();
   cells *= systems.empty() ? 1 : systems.size();
+  if (!wire_modes.empty()) cells *= wire_modes.size();
   return cells;
 }
 
@@ -182,47 +198,55 @@ std::vector<TrialJob> SweepSpec::Expand() const {
       scenarios.empty() ? std::vector<ScenarioScript>{base.chaos} : scenarios;
   std::vector<SystemChoice> kinds =
       systems.empty() ? std::vector<SystemChoice>{SystemChoice{}} : systems;
+  std::vector<WireMode> wires =
+      wire_modes.empty() ? std::vector<WireMode>{base.wire_mode} : wire_modes;
 
   std::vector<TrialJob> jobs;
   jobs.reserve(pops.size() * zipfs.size() * uptimes.size() * scripts.size() *
-               kinds.size() * trials);
+               kinds.size() * wires.size() * trials);
   size_t cell = 0;
   for (size_t population : pops) {
     for (double zipf : zipfs) {
       for (SimDuration uptime : uptimes) {
         for (const ScenarioScript& script : scripts) {
           for (const SystemChoice& sys : kinds) {
-            std::string label = sys.name;
-            if (pops.size() > 1) {
-              label += "/P=" + std::to_string(population);
+            for (WireMode wire : wires) {
+              std::string label = sys.name;
+              if (pops.size() > 1) {
+                label += "/P=" + std::to_string(population);
+              }
+              if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
+              if (uptimes.size() > 1) {
+                label += "/m=" + std::to_string(uptime / kMinute) + "min";
+              }
+              if (scripts.size() > 1) {
+                label += "/chaos=" +
+                         (script.empty()
+                              ? std::string("none")
+                              : (script.name.empty() ? std::string("scenario")
+                                                     : script.name));
+              }
+              if (wires.size() > 1) {
+                label += "/wire=" + std::string(WireModeName(wire));
+              }
+              for (size_t trial = 0; trial < trials; ++trial) {
+                TrialJob job;
+                job.config = base;
+                job.config.target_population = population;
+                job.config.catalog.zipf_alpha = zipf;
+                job.config.mean_uptime = uptime;
+                job.config.chaos = script;
+                job.config.squirrel.mode = sys.squirrel_mode;
+                job.config.wire_mode = wire;
+                job.config.seed = DeriveTrialSeed(base_seed, trial);
+                job.kind = sys.kind;
+                job.cell = cell;
+                job.trial = trial;
+                job.label = label;
+                jobs.push_back(std::move(job));
+              }
+              ++cell;
             }
-            if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
-            if (uptimes.size() > 1) {
-              label += "/m=" + std::to_string(uptime / kMinute) + "min";
-            }
-            if (scripts.size() > 1) {
-              label += "/chaos=" +
-                       (script.empty()
-                            ? std::string("none")
-                            : (script.name.empty() ? std::string("scenario")
-                                                   : script.name));
-            }
-            for (size_t trial = 0; trial < trials; ++trial) {
-              TrialJob job;
-              job.config = base;
-              job.config.target_population = population;
-              job.config.catalog.zipf_alpha = zipf;
-              job.config.mean_uptime = uptime;
-              job.config.chaos = script;
-              job.config.squirrel.mode = sys.squirrel_mode;
-              job.config.seed = DeriveTrialSeed(base_seed, trial);
-              job.kind = sys.kind;
-              job.cell = cell;
-              job.trial = trial;
-              job.label = label;
-              jobs.push_back(std::move(job));
-            }
-            ++cell;
           }
         }
       }

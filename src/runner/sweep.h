@@ -39,13 +39,15 @@ struct SweepSpec {
   std::vector<SimDuration> mean_uptimes;     // churn rates (m, in ms)
   std::vector<ScenarioScript> scenarios;     // chaos scenarios (files/none)
   std::vector<SystemChoice> systems;         // default: flower only
+  std::vector<WireMode> wire_modes;          // traffic sizing backends
   size_t trials = 1;
   uint64_t base_seed = 42;
 
   /// Parses a compact sweep string of semicolon-separated `key=v1,v2,...`
   /// clauses onto `base`. Keys: population, zipf, uptime-min, chaos,
-  /// system, trials, seed, hours. `chaos` values are scenario file paths
-  /// (or the literal `none` for a fault-free cell). Example:
+  /// system, wire, trials, seed, hours. `chaos` values are scenario file
+  /// paths (or the literal `none` for a fault-free cell); `wire` values are
+  /// modeled|encoded. Example:
   ///   "population=2000,3000;system=flower,squirrel;trials=8"
   ///   "chaos=none,scenarios/dirkill.json;system=flower,squirrel"
   /// Unknown keys, empty value lists and malformed numbers are errors.
@@ -56,8 +58,9 @@ struct SweepSpec {
   size_t NumCells() const;
 
   /// Expands the grid into per-trial jobs, cell-major (all trials of cell 0
-  /// first). Cell order: population (outer), zipf, uptime, system (inner).
-  /// Labels name the system plus every dimension with >1 swept value.
+  /// first). Cell order: population (outer), zipf, uptime, chaos, system,
+  /// wire (inner). Labels name the system plus every dimension with >1
+  /// swept value.
   std::vector<TrialJob> Expand() const;
 };
 

@@ -2,15 +2,37 @@
 
 #include <utility>
 
+#include "sim/transport.h"
 #include "util/logging.h"
 
 namespace flowercdn {
 
+const char* WireModeName(WireMode mode) {
+  switch (mode) {
+    case WireMode::kModeled:
+      return "modeled";
+    case WireMode::kEncoded:
+      return "encoded";
+  }
+  return "?";
+}
+
 Network::Network(Simulator* sim, Topology* topology)
-    : sim_(sim), topology_(topology) {
+    : sim_(sim),
+      topology_(topology),
+      default_transport_(std::make_unique<InProcessTransport>(this)) {
   FLOWERCDN_CHECK(sim != nullptr);
   FLOWERCDN_CHECK(topology != nullptr);
+  transport_ = default_transport_.get();
 }
+
+Network::~Network() = default;
+
+void Network::SetTransport(Transport* transport) {
+  transport_ = transport != nullptr ? transport : default_transport_.get();
+}
+
+Transport* Network::transport() const { return transport_; }
 
 void Network::RegisterIdentity(PeerId peer, Coord coord) {
   FLOWERCDN_CHECK(peer != kInvalidPeer);
@@ -74,10 +96,13 @@ void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
   msg->src = src;
   msg->dst = dst;
   ++messages_sent_;
-  size_t size = msg->SizeBytes();
+  size_t size = sizer_ != nullptr ? sizer_(*msg) : msg->SizeBytes();
   bytes_sent_ += size;
   TrafficBreakdown::Family* family = nullptr;
-  if (msg->type >= kChordMessageBase && msg->type < kChordMessageBase + 100) {
+  if (msg->type == kTransportNack) {
+    family = &traffic_.nack;
+  } else if (msg->type >= kChordMessageBase &&
+             msg->type < kChordMessageBase + 100) {
     family = &traffic_.chord;
   } else if (msg->type >= kGossipMessageBase &&
              msg->type < kGossipMessageBase + 100) {
@@ -116,12 +141,13 @@ void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
     }
     latency += decision.extra_delay_ms;
   }
-  Deliver(dst, static_cast<SimDuration>(latency), std::move(msg));
+  transport_->Carry(src, dst, static_cast<SimDuration>(latency), size,
+                    std::move(msg));
 }
 
-void Network::Deliver(PeerId dst, SimDuration latency, MessagePtr msg) {
-  size_t size = msg->SizeBytes();
-  // Shared-pointer shim so the closure stays copyable (std::function).
+void Network::Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
+                      MessagePtr msg) {
+  size_t size = accounted_bytes;
   sim_->Schedule(
       latency,
       [this, dst, size, msg = std::move(msg)]() mutable {

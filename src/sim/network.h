@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "sim/message.h"
@@ -12,6 +13,17 @@
 #include "sim/types.h"
 
 namespace flowercdn {
+
+class Transport;
+
+/// How the network sizes a message for traffic accounting.
+///  * kModeled: the hand-maintained Message::SizeBytes() estimates (the
+///    historical behavior, and the default).
+///  * kEncoded: the actual length of the src/wire binary encoding,
+///    installed through Network::SetMessageSizer.
+enum class WireMode { kModeled, kEncoded };
+
+const char* WireModeName(WireMode mode);
 
 /// What the fault layer decided about one message about to enter the
 /// network. The default is a clean delivery.
@@ -45,6 +57,7 @@ class Network {
   Network(Simulator* sim, Topology* topology);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();
 
   // --- Identity management -------------------------------------------------
   // An identity (PeerId + coordinate) persists across sessions; the paper's
@@ -95,6 +108,29 @@ class Network {
   void SetFaultHook(NetworkFaultHook* hook) { fault_hook_ = hook; }
   NetworkFaultHook* fault_hook() const { return fault_hook_; }
 
+  // --- Transport seam ------------------------------------------------------
+
+  /// Installs a transport backend (caller-owned; nullptr restores the
+  /// built-in in-process delivery). Every subsequent Send() routes through
+  /// Transport::Carry after accounting and fault injection.
+  void SetTransport(Transport* transport);
+  /// The active backend (never null; defaults to the in-process one).
+  Transport* transport() const;
+
+  /// Re-entry point for transports: schedules the final delivery of a
+  /// carried message after `latency`, with the usual dead-receiver drop
+  /// handling and NACK generation. `accounted_bytes` must be the size
+  /// charged by the Send() that initiated the carry.
+  void DeliverFromTransport(PeerId dst, SimDuration latency,
+                            size_t accounted_bytes, MessagePtr msg) {
+    Deliver(dst, latency, accounted_bytes, std::move(msg));
+  }
+
+  /// Overrides how messages are sized for traffic accounting (nullptr
+  /// restores Message::SizeBytes()). Used by --wire=encoded to charge
+  /// actual encoded lengths instead of the hand-maintained estimates.
+  void SetMessageSizer(size_t (*sizer)(const Message&)) { sizer_ = sizer; }
+
   Simulator* sim() { return sim_; }
   const Simulator* sim() const { return sim_; }
   Topology* topology() { return topology_; }
@@ -117,7 +153,12 @@ class Network {
     Family gossip;
     Family flower;
     Family squirrel;
-    Family other;  // transport NACKs, test traffic
+    Family other;  // unregistered ranges, test traffic
+    /// Transport-level NACKs (kTransportNack). Counted under their own
+    /// family — not `other` — so the message census stays comparable
+    /// between --wire=modeled and --wire=encoded runs and NACK storms are
+    /// visible in the overhead report.
+    Family nack;
     /// Messages lost to a dead receiver. Counted at drop time in addition
     /// to the send-time family counters above (a dropped chord message
     /// appears in both `chord` and `dropped`).
@@ -141,12 +182,17 @@ class Network {
     Incarnation incarnation = 0;
   };
 
-  /// Schedules one delivery of `msg` after `latency` ms.
-  void Deliver(PeerId dst, SimDuration latency, MessagePtr msg);
+  /// Schedules one delivery of `msg` after `latency` ms. `accounted_bytes`
+  /// is what Send() charged for the message (reused for drop accounting).
+  void Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
+               MessagePtr msg);
 
   Simulator* sim_;
   Topology* topology_;
   NetworkFaultHook* fault_hook_ = nullptr;
+  std::unique_ptr<Transport> default_transport_;
+  Transport* transport_ = nullptr;  // never null after construction
+  size_t (*sizer_)(const Message&) = nullptr;  // null -> SizeBytes()
   std::unordered_map<PeerId, IdentityState> identities_;
   size_t alive_count_ = 0;
   uint64_t next_rpc_id_ = 1;

@@ -57,6 +57,38 @@ Status BloomFilter::UnionWith(const BloomFilter& other) {
   return Status::OK();
 }
 
+Result<BloomFilter> BloomFilter::FromWire(size_t bit_count, size_t num_hashes,
+                                          size_t inserted_count,
+                                          std::vector<uint64_t> words) {
+  if (bit_count == 0) {
+    if (num_hashes != 0 || !words.empty()) {
+      return Status::InvalidArgument("bloom: empty filter with payload");
+    }
+    BloomFilter filter;
+    filter.inserted_count_ = inserted_count;
+    return filter;
+  }
+  if (words.size() != (bit_count + 63) / 64) {
+    return Status::InvalidArgument("bloom: word count does not match bits");
+  }
+  if (num_hashes < 1 || num_hashes > 64) {
+    return Status::InvalidArgument("bloom: implausible hash count");
+  }
+  // Bits past bit_count must be zero: Insert can never set them, so a
+  // nonzero tail is a corrupt (or forged) filter.
+  size_t tail_bits = bit_count & 63;
+  if (tail_bits != 0 &&
+      (words.back() & ~((uint64_t{1} << tail_bits) - 1)) != 0) {
+    return Status::InvalidArgument("bloom: bits set past bit_count");
+  }
+  BloomFilter filter;
+  filter.bit_count_ = bit_count;
+  filter.num_hashes_ = num_hashes;
+  filter.inserted_count_ = inserted_count;
+  filter.bits_ = std::move(words);
+  return filter;
+}
+
 double BloomFilter::FillRatio() const {
   if (bit_count_ == 0) return 0.0;
   size_t set = 0;

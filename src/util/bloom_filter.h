@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/result.h"
 #include "util/status.h"
 
 namespace flowercdn {
@@ -54,6 +55,17 @@ class BloomFilter {
 
   /// Approximate in-memory size in bytes (what gossip would transfer).
   size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// The raw bit-array words, for wire encoding. (bit_count + 63) / 64
+  /// entries; empty for the default filter.
+  const std::vector<uint64_t>& words() const { return bits_; }
+
+  /// Reconstructs a filter from decoded wire fields. Errors when the word
+  /// count does not match `bit_count` or the hash count is implausible —
+  /// the validation an adversarial decoder needs.
+  static Result<BloomFilter> FromWire(size_t bit_count, size_t num_hashes,
+                                      size_t inserted_count,
+                                      std::vector<uint64_t> words);
 
   /// Clears all bits, keeping geometry.
   void Clear();

@@ -1,0 +1,138 @@
+#ifndef FLOWERCDN_WIRE_BUFFER_H_
+#define FLOWERCDN_WIRE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowercdn {
+
+/// Append-only little-endian byte sink for the wire codec. All multi-byte
+/// integers are written LSB-first regardless of host endianness, so
+/// encodings are byte-identical across platforms.
+class WireWriter {
+ public:
+  WireWriter() = default;
+  /// Appends to an existing buffer (the transport reuses one allocation).
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { buf().push_back(v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf().push_back(uint8_t(v >> (8 * i)));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf().push_back(uint8_t(v >> (8 * i)));
+  }
+
+  size_t size() const { return out_ != nullptr ? out_->size() : own_.size(); }
+
+  /// Moves the accumulated bytes out (only for the owning mode).
+  std::vector<uint8_t> Take() { return std::move(own_); }
+
+  /// Patches a previously written 32-bit slot (length back-fills).
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf()[offset + i] = uint8_t(v >> (8 * i));
+  }
+
+ private:
+  std::vector<uint8_t>& buf() { return out_ != nullptr ? *out_ : own_; }
+  const std::vector<uint8_t>& buf() const {
+    return out_ != nullptr ? *out_ : own_;
+  }
+
+  std::vector<uint8_t> own_;
+  std::vector<uint8_t>* out_ = nullptr;
+};
+
+/// Bounds-checked little-endian reader over an untrusted buffer. Reads past
+/// the end do not touch memory: they latch a failure flag and return zero,
+/// so a decoder can run to completion on garbage and report one error at
+/// the end. Never throws, never crashes — the property the adversarial
+/// decode tests assert under ASan/UBSan.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  /// Strict bool: only 0 and 1 are valid, so every accepted buffer is the
+  /// canonical encoding of its message (decode then re-encode is identity).
+  bool Bool() {
+    uint8_t v = U8();
+    if (v > 1) {
+      Fail("non-canonical bool");
+      return false;
+    }
+    return v != 0;
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  /// Reads a u32 element count and validates it against both an absolute
+  /// cap and the bytes actually remaining (each element needs at least
+  /// `min_element_bytes`), so a forged count can never drive a huge
+  /// allocation. Returns 0 and fails the reader on violation.
+  size_t Count(size_t max_elements, size_t min_element_bytes) {
+    uint32_t n = U32();
+    if (failed_) return 0;
+    if (n > max_elements || size_t(n) * min_element_bytes > remaining()) {
+      Fail("implausible element count");
+      return 0;
+    }
+    return n;
+  }
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  const std::string& error() const { return error_; }
+
+  /// Marks the buffer malformed with a reason (first failure wins).
+  void Fail(const char* reason) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = reason;
+    }
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_) return false;
+    if (size_ - pos_ < n) {
+      Fail("truncated buffer");
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_WIRE_BUFFER_H_

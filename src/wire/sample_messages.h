@@ -1,0 +1,19 @@
+#ifndef FLOWERCDN_WIRE_SAMPLE_MESSAGES_H_
+#define FLOWERCDN_WIRE_SAMPLE_MESSAGES_H_
+
+#include <vector>
+
+#include "sim/message.h"
+
+namespace flowercdn {
+
+/// One canonical, fully populated instance of every registered message
+/// type, with fixed deterministic field values (no RNG, no time). Shared
+/// by the golden-vector test (which pins their exact encodings), the
+/// round-trip and drift tests, and the codec benchmark — so "every type"
+/// means the same set everywhere.
+std::vector<MessagePtr> BuildSampleMessages();
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_WIRE_SAMPLE_MESSAGES_H_

@@ -1,0 +1,166 @@
+#include "wire/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+#include "wire/buffer.h"
+#include "wire/codec.h"
+
+namespace flowercdn {
+namespace {
+
+constexpr size_t kFramePrefixBytes = 4 + 8 + 8;  // len + accounted + latency
+// Loopback path MTU is ~64 KiB; every protocol message fits with room to
+// spare (the largest golden sample is well under 1 KiB, handoffs a few KiB).
+constexpr size_t kMaxDatagram = 65000;
+constexpr int kPumpTimeoutMs = 5000;
+
+}  // namespace
+
+UdpLoopbackTransport::~UdpLoopbackTransport() { CloseAll(); }
+
+void UdpLoopbackTransport::CloseAll() {
+  for (auto& [peer, ep] : sockets_) {
+    if (ep.fd >= 0) ::close(ep.fd);
+  }
+  sockets_.clear();
+  fd_to_peer_.clear();
+}
+
+UdpLoopbackTransport::Endpoint& UdpLoopbackTransport::EndpointFor(PeerId peer) {
+  auto it = sockets_.find(peer);
+  if (it != sockets_.end()) return it->second;
+
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  FLOWERCDN_CHECK(fd >= 0) << "socket(): " << strerror(errno);
+
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  FLOWERCDN_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(O_NONBLOCK): " << strerror(errno);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel picks a free port
+  FLOWERCDN_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0)
+      << "bind(127.0.0.1): " << strerror(errno);
+
+  socklen_t len = sizeof(addr);
+  FLOWERCDN_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                                &len) == 0)
+      << "getsockname(): " << strerror(errno);
+
+  Endpoint ep;
+  ep.fd = fd;
+  ep.port = ntohs(addr.sin_port);
+  fd_to_peer_[fd] = peer;
+  return sockets_.emplace(peer, ep).first->second;
+}
+
+void UdpLoopbackTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
+                                 size_t accounted_bytes, MessagePtr msg) {
+  Endpoint& from = EndpointFor(src);
+  Endpoint& to = EndpointFor(dst);
+
+  frame_.clear();
+  WireWriter w(&frame_);
+  w.U32(0);  // payload_len back-patched below
+  w.U64(accounted_bytes);
+  w.U64(uint64_t(latency));
+  WireEncodeTo(*msg, &frame_);
+  size_t payload_len = frame_.size() - kFramePrefixBytes;
+  w.PatchU32(0, uint32_t(payload_len));
+  FLOWERCDN_CHECK(frame_.size() <= kMaxDatagram)
+      << "message type " << msg->type << " encodes to " << payload_len
+      << " bytes, past the loopback datagram bound";
+
+  sockaddr_in to_addr{};
+  to_addr.sin_family = AF_INET;
+  to_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to_addr.sin_port = htons(to.port);
+  ssize_t sent = ::sendto(from.fd, frame_.data(), frame_.size(), 0,
+                          reinterpret_cast<sockaddr*>(&to_addr),
+                          sizeof(to_addr));
+  FLOWERCDN_CHECK(sent == ssize_t(frame_.size()))
+      << "sendto(127.0.0.1:" << to.port << "): " << strerror(errno);
+  ++datagrams_sent_;
+  socket_bytes_sent_ += frame_.size();
+  ++in_flight_;
+
+  // Receive synchronously before returning, so delivery scheduling order —
+  // and therefore the whole simulation — matches the in-process backend
+  // exactly. DeliverFromTransport only schedules a simulator event, so no
+  // re-entrant Carry can start while we pump.
+  Pump();
+}
+
+void UdpLoopbackTransport::Pump() {
+  int waited_ms = 0;
+  while (in_flight_ > 0) {
+    std::vector<pollfd> fds;
+    fds.reserve(sockets_.size());
+    for (const auto& [peer, ep] : sockets_) {
+      fds.push_back(pollfd{ep.fd, POLLIN, 0});
+    }
+    int ready = ::poll(fds.data(), nfds_t(fds.size()), kPumpTimeoutMs);
+    if (ready < 0) {
+      FLOWERCDN_CHECK(errno == EINTR) << "poll(): " << strerror(errno);
+      continue;
+    }
+    if (ready == 0) {
+      waited_ms += kPumpTimeoutMs;
+      FLOWERCDN_CHECK(waited_ms < 2 * kPumpTimeoutMs)
+          << "udp-loopback: " << in_flight_
+          << " datagram(s) never arrived — loopback should not lose traffic";
+      continue;
+    }
+    for (const pollfd& p : fds) {
+      if ((p.revents & POLLIN) != 0) DrainSocket(p.fd);
+    }
+  }
+}
+
+void UdpLoopbackTransport::DrainSocket(int fd) {
+  uint8_t buf[kMaxDatagram];
+  while (true) {
+    ssize_t n = ::recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (n < 0) {
+      FLOWERCDN_CHECK(errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)
+          << "recvfrom(): " << strerror(errno);
+      return;
+    }
+    ++datagrams_received_;
+    FLOWERCDN_CHECK(in_flight_ > 0) << "udp-loopback: unexpected datagram";
+    --in_flight_;
+
+    WireReader r(buf, size_t(n));
+    uint32_t payload_len = r.U32();
+    uint64_t accounted_bytes = r.U64();
+    SimDuration latency = SimDuration(r.U64());
+    FLOWERCDN_CHECK(r.ok() && payload_len == size_t(n) - kFramePrefixBytes)
+        << "udp-loopback: corrupt frame (" << n << " bytes)";
+
+    Result<MessagePtr> decoded =
+        WireDecode(buf + kFramePrefixBytes, payload_len);
+    FLOWERCDN_CHECK(decoded.ok())
+        << "udp-loopback: undecodable datagram: "
+        << decoded.status().ToString();
+    MessagePtr msg = std::move(decoded).value();
+    PeerId dst = msg->dst;
+    network_->DeliverFromTransport(dst, latency, size_t(accounted_bytes),
+                                   std::move(msg));
+  }
+}
+
+}  // namespace flowercdn

@@ -249,7 +249,7 @@ TEST(JsonExportTest, SweepDocumentShape) {
   cell.aggregate = Aggregate(cell.trials);
 
   std::string json = SweepJsonString(42, {cell}, /*include_trials=*/true);
-  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v3\""),
+  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v4\""),
             std::string::npos);
   EXPECT_NE(json.find("\"base_seed\":42"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"flower\""), std::string::npos);
@@ -267,6 +267,10 @@ TEST(JsonExportTest, SweepDocumentShape) {
   EXPECT_NE(json.find("\"rpc_cancelled\":"), std::string::npos);
   EXPECT_NE(json.find("\"chaos\":{\"enabled\":false}"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\":\"\""), std::string::npos);
+  // v4 additions: the cell's byte-accounting mode and a dedicated traffic
+  // family for transport NACKs.
+  EXPECT_NE(json.find("\"wire_mode\":\"modeled\""), std::string::npos);
+  EXPECT_NE(json.find("\"nack\":{"), std::string::npos);
 
   std::string no_trials = SweepJsonString(42, {cell}, false);
   EXPECT_EQ(no_trials.find("\"trial_results\""), std::string::npos);

@@ -1,0 +1,103 @@
+// Golden-byte vectors: the exact encoding of one canonical sample per
+// message type, committed at tests/golden/wire_vectors.txt. Any codec
+// change that alters bytes on the wire fails here and must be a conscious
+// decision (regenerate with FLOWERCDN_REGEN_GOLDEN=1).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "wire/codec.h"
+#include "wire/sample_messages.h"
+
+#ifndef FLOWERCDN_WIRE_GOLDEN_FILE
+#error "build must define FLOWERCDN_WIRE_GOLDEN_FILE"
+#endif
+
+namespace flowercdn {
+namespace {
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    hex.push_back(digits[b >> 4]);
+    hex.push_back(digits[b & 0xf]);
+  }
+  return hex;
+}
+
+/// Golden file format, one line per type:
+///   <type> <registry-name> <hex-encoding>
+std::map<MessageType, std::string> LoadGolden(const std::string& path) {
+  std::map<MessageType, std::string> golden;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    MessageType type = 0;
+    std::string name;
+    std::string hex;
+    fields >> type >> name >> hex;
+    golden[type] = hex;
+  }
+  return golden;
+}
+
+TEST(WireGoldenTest, EncodingsMatchCommittedVectors) {
+  const std::string path = FLOWERCDN_WIRE_GOLDEN_FILE;
+
+  if (std::getenv("FLOWERCDN_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# Golden wire vectors: `<type> <name> <hex>` per registered\n"
+        << "# message type, from the canonical samples in\n"
+        << "# src/wire/sample_messages.cc. Regenerate by running\n"
+        << "# wire_golden_test with FLOWERCDN_REGEN_GOLDEN=1.\n";
+    for (const MessagePtr& msg : BuildSampleMessages()) {
+      const WireRegistry::Entry* entry =
+          WireRegistry::Global().Find(msg->type);
+      ASSERT_NE(entry, nullptr);
+      out << msg->type << " " << entry->name << " " << ToHex(WireEncode(*msg))
+          << "\n";
+    }
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::map<MessageType, std::string> golden = LoadGolden(path);
+  ASSERT_FALSE(golden.empty())
+      << "missing or empty " << path
+      << " — run wire_golden_test with FLOWERCDN_REGEN_GOLDEN=1";
+
+  // Every registered type has a committed vector...
+  for (MessageType t : WireRegistry::Global().RegisteredTypes()) {
+    EXPECT_TRUE(golden.count(t)) << "no golden vector for type " << t;
+  }
+
+  // ...and every sample encodes to exactly those bytes, and the committed
+  // bytes decode back to a message that re-encodes identically.
+  size_t checked = 0;
+  for (const MessagePtr& msg : BuildSampleMessages()) {
+    auto it = golden.find(msg->type);
+    ASSERT_NE(it, golden.end()) << "type " << msg->type;
+    std::vector<uint8_t> bytes = WireEncode(*msg);
+    EXPECT_EQ(ToHex(bytes), it->second)
+        << "wire format changed for type " << msg->type
+        << " — if intentional, regenerate with FLOWERCDN_REGEN_GOLDEN=1";
+    Result<MessagePtr> decoded = WireDecode(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(WireEncode(**decoded), bytes);
+    ++checked;
+  }
+  EXPECT_EQ(checked, golden.size())
+      << "stale golden vectors for unregistered types";
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,134 @@
+// Transport-equivalence tests: the transport seam must be invisible to the
+// simulation. A run whose messages cross real UDP loopback sockets must
+// produce bit-identical dynamics to the default in-process delivery, and
+// --wire=encoded must change only the byte accounting, never the protocol
+// behaviour.
+
+#include <gtest/gtest.h>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+#include "sim/types.h"
+#include "wire/udp_transport.h"
+
+namespace flowercdn {
+namespace {
+
+struct RunOutcome {
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t events_processed = 0;
+  size_t final_population = 0;
+};
+
+ExperimentConfig SmallConfig(WireMode wire_mode) {
+  ExperimentConfig config;
+  config.target_population = 20;
+  config.duration = 1 * kHour;
+  config.catalog.num_websites = 2;
+  config.catalog.num_active = 2;
+  config.catalog.objects_per_website = 30;
+  config.topology.num_localities = 2;
+  config.wire_mode = wire_mode;
+  return config;
+}
+
+RunOutcome RunOnce(const ExperimentConfig& config, Transport* transport) {
+  ExperimentEnv env(config);
+  if (transport != nullptr) {
+    env.network().SetTransport(transport);
+  }
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  RunOutcome out;
+  out.queries = env.metrics().total_queries();
+  out.hits = env.metrics().hits();
+  out.messages_sent = env.network().messages_sent();
+  out.bytes_sent = env.network().bytes_sent();
+  out.events_processed = env.sim().events_processed();
+  out.final_population = env.network().alive_count();
+  return out;
+}
+
+// The UDP loopback backend must reproduce the in-process run exactly:
+// same queries, same hits, same message/byte counters, same event count.
+TEST(WireTransportTest, UdpLoopbackMatchesInProcessExactly) {
+  ExperimentConfig config = SmallConfig(WireMode::kEncoded);
+
+  RunOutcome in_process = RunOnce(config, nullptr);
+
+  ExperimentEnv env(config);
+  UdpLoopbackTransport udp(&env.network());
+  env.network().SetTransport(&udp);
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+  env.sim().RunUntil(config.duration);
+
+  EXPECT_EQ(env.metrics().total_queries(), in_process.queries);
+  EXPECT_EQ(env.metrics().hits(), in_process.hits);
+  EXPECT_EQ(env.network().messages_sent(), in_process.messages_sent);
+  EXPECT_EQ(env.network().bytes_sent(), in_process.bytes_sent);
+  EXPECT_EQ(env.sim().events_processed(), in_process.events_processed);
+  EXPECT_EQ(env.network().alive_count(), in_process.final_population);
+
+  // And traffic really did cross sockets.
+  EXPECT_GT(udp.datagrams_sent(), 0u);
+  EXPECT_EQ(udp.datagrams_sent(), udp.datagrams_received());
+  EXPECT_EQ(udp.datagrams_sent(), in_process.messages_sent);
+  EXPECT_GT(udp.socket_bytes_sent(), 0u);
+}
+
+// Encoded sizing changes byte accounting only: the protocol's decisions
+// (queries issued, hits, messages exchanged, events) are unaffected.
+TEST(WireTransportTest, EncodedModeChangesBytesOnly) {
+  RunOutcome modeled = RunOnce(SmallConfig(WireMode::kModeled), nullptr);
+  RunOutcome encoded = RunOnce(SmallConfig(WireMode::kEncoded), nullptr);
+
+  EXPECT_EQ(encoded.queries, modeled.queries);
+  EXPECT_EQ(encoded.hits, modeled.hits);
+  EXPECT_EQ(encoded.messages_sent, modeled.messages_sent);
+  EXPECT_EQ(encoded.events_processed, modeled.events_processed);
+  EXPECT_EQ(encoded.final_population, modeled.final_population);
+
+  EXPECT_GT(modeled.bytes_sent, 0u);
+  EXPECT_GT(encoded.bytes_sent, 0u);
+  EXPECT_NE(encoded.bytes_sent, modeled.bytes_sent);
+}
+
+// Same seed, same transport => bit-identical run. (Guards against the UDP
+// backend introducing hidden nondeterminism, e.g. arrival-order effects.)
+TEST(WireTransportTest, UdpRunsAreDeterministic) {
+  ExperimentConfig config = SmallConfig(WireMode::kEncoded);
+  config.duration = 30 * kMinute;
+
+  RunOutcome first;
+  RunOutcome second;
+  for (RunOutcome* out : {&first, &second}) {
+    ExperimentEnv env(config);
+    UdpLoopbackTransport udp(&env.network());
+    env.network().SetTransport(&udp);
+    FlowerSystem system(&env, config.flower);
+    system.Setup();
+    env.sim().RunUntil(config.duration);
+    out->queries = env.metrics().total_queries();
+    out->hits = env.metrics().hits();
+    out->messages_sent = env.network().messages_sent();
+    out->bytes_sent = env.network().bytes_sent();
+    out->events_processed = env.sim().events_processed();
+    out->final_population = env.network().alive_count();
+  }
+
+  EXPECT_EQ(first.queries, second.queries);
+  EXPECT_EQ(first.hits, second.hits);
+  EXPECT_EQ(first.messages_sent, second.messages_sent);
+  EXPECT_EQ(first.bytes_sent, second.bytes_sent);
+  EXPECT_EQ(first.events_processed, second.events_processed);
+  EXPECT_EQ(first.final_population, second.final_population);
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -1,0 +1,138 @@
+// flowercdn-node — live-socket demonstration: a complete Flower-CDN
+// deployment (D-ring directories + petals, churn, client queries) whose
+// every message travels 127.0.0.1 as a real UDP datagram in the src/wire
+// binary encoding. The simulation clock still paces the protocol, but
+// nothing is delivered by pointer handoff: each message is encoded, framed,
+// sent through the kernel, received on the destination peer's socket,
+// decoded, and only then handed to the protocol — so the whole codec and
+// framing stack is exercised end to end by real traffic.
+//
+// Exits 0 iff at least one client query was answered from the overlay
+// (a directory-routed hit) AND at least one datagram crossed the sockets;
+// CI runs it as the live-mode smoke test.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "expt/env.h"
+#include "expt/flower_system.h"
+#include "sim/types.h"
+#include "util/table_printer.h"
+#include "wire/udp_transport.h"
+
+using namespace flowercdn;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --population=P   target population   (default 40)\n"
+               "  --hours=N        simulated duration  (default 2)\n"
+               "  --seed=S         base RNG seed       (default 42)\n"
+               "  --quiet          suppress progress output\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  // A deliberately small deployment: 2 websites x 2 localities seed a
+  // 4-peer D-ring; churn arrivals then grow the population toward the
+  // target, with every joiner admitted into a petal and issuing queries.
+  config.target_population = 40;
+  config.duration = 2 * kHour;
+  config.catalog.num_websites = 2;
+  config.catalog.num_active = 2;
+  config.catalog.objects_per_website = 50;
+  config.topology.num_localities = 2;
+  config.wire_mode = WireMode::kEncoded;  // charge real encoded lengths
+
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--population=", 13) == 0) {
+      config.target_population = static_cast<size_t>(atoll(arg + 13));
+    } else if (std::strncmp(arg, "--hours=", 8) == 0) {
+      config.duration = atoll(arg + 8) * kHour;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = static_cast<uint64_t>(atoll(arg + 7));
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  ExperimentEnv env(config);
+  UdpLoopbackTransport transport(&env.network());
+  env.network().SetTransport(&transport);
+
+  FlowerSystem system(&env, config.flower);
+  system.Setup();
+
+  for (SimTime t = 30 * kMinute; t <= config.duration; t += 30 * kMinute) {
+    env.sim().RunUntil(t);
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "  t=%lldmin: %zu peers, %llu queries, %llu hits, "
+                   "%llu datagrams\n",
+                   static_cast<long long>(t / kMinute),
+                   env.network().alive_count(),
+                   static_cast<unsigned long long>(
+                       env.metrics().total_queries()),
+                   static_cast<unsigned long long>(env.metrics().hits()),
+                   static_cast<unsigned long long>(
+                       transport.datagrams_received()));
+    }
+  }
+  env.sim().RunUntil(config.duration);
+
+  const uint64_t queries = env.metrics().total_queries();
+  const uint64_t hits = env.metrics().hits();
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"transport", transport.name()});
+  table.AddRow({"open sockets", std::to_string(transport.open_sockets())});
+  table.AddRow({"datagrams sent", std::to_string(transport.datagrams_sent())});
+  table.AddRow({"datagrams received",
+                std::to_string(transport.datagrams_received())});
+  table.AddRow({"socket bytes",
+                std::to_string(transport.socket_bytes_sent())});
+  table.AddRow({"accounted wire bytes",
+                std::to_string(env.network().bytes_sent())});
+  table.AddRow({"final population",
+                std::to_string(env.network().alive_count())});
+  table.AddRow({"live directories",
+                std::to_string(system.ComputeStats().live_directories)});
+  table.AddRow({"queries", std::to_string(queries)});
+  table.AddRow({"overlay hits", std::to_string(hits)});
+  table.AddRow({"hit ratio", FormatDouble(env.metrics().HitRatio(), 3)});
+  table.Print(std::cout);
+
+  if (hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no query was answered from the overlay over real "
+                 "sockets\n");
+    return 1;
+  }
+  if (transport.datagrams_received() == 0 ||
+      transport.datagrams_received() != transport.datagrams_sent()) {
+    std::fprintf(stderr, "FAIL: datagram accounting mismatch (%llu sent, "
+                 "%llu received)\n",
+                 static_cast<unsigned long long>(transport.datagrams_sent()),
+                 static_cast<unsigned long long>(
+                     transport.datagrams_received()));
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("OK: %llu queries answered over live UDP loopback\n",
+                static_cast<unsigned long long>(hits));
+  }
+  return 0;
+}

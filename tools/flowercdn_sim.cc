@@ -34,6 +34,9 @@ void Usage(const char* argv0) {
                "  --localities=L        landmark localities      (default 6)\n"
                "  --uptime-min=M        mean session uptime      (default 60)\n"
                "  --zipf=ALPHA          object popularity skew   (default 0.8)\n"
+               "  --wire=modeled|encoded traffic sizing: SizeBytes()\n"
+               "                        estimates or actual src/wire encoded\n"
+               "                        lengths (default modeled)\n"
                "  --no-churn            disable failures\n"
                "  --no-retain-cache     clear browser caches on re-join\n"
                "  --collab              enable directory collaboration (§3.2)\n"
@@ -48,7 +51,7 @@ void Usage(const char* argv0) {
                "                        'population=2000,3000;system=flower,"
                "squirrel;trials=4'\n"
                "                        (keys: population zipf uptime-min "
-               "chaos system trials seed hours)\n"
+               "chaos system wire trials seed hours)\n"
                "  --json-out=PATH       write runner JSON (per-trial + "
                "aggregate)\n"
                "  --json-aggregate-only omit per-trial results from the JSON\n"
@@ -127,6 +130,7 @@ void PrintSingleRunTable(const CellResult& cell) {
   table.AddRow({"lookup p99 (ms)", FormatDouble(r.lookup_all.Quantile(0.99),
                                                 1)});
   table.AddRow({"messages sent", std::to_string(r.messages_sent)});
+  table.AddRow({"wire sizing", WireModeName(cell.config.wire_mode)});
   table.AddRow({"traffic (MB)",
                 FormatDouble(static_cast<double>(r.bytes_sent) / 1048576.0,
                              1)});
@@ -143,6 +147,9 @@ void PrintSingleRunTable(const CellResult& cell) {
   family_row("  flower traffic", r.traffic.flower);
   family_row("  squirrel traffic", r.traffic.squirrel);
   family_row("  dropped traffic", r.traffic.dropped);
+  if (r.traffic.nack.messages > 0) {
+    family_row("  transport nacks", r.traffic.nack);
+  }
   if (r.traffic.injected_loss.messages > 0) {
     family_row("  injected loss", r.traffic.injected_loss);
   }
@@ -337,6 +344,16 @@ int main(int argc, char** argv) {
       config.mean_uptime = value * kMinute;
     } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
       config.catalog.zipf_alpha = atof(arg + 7);
+    } else if (std::strncmp(arg, "--wire=", 7) == 0) {
+      std::string mode = arg + 7;
+      if (mode == "modeled") {
+        config.wire_mode = WireMode::kModeled;
+      } else if (mode == "encoded") {
+        config.wire_mode = WireMode::kEncoded;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--no-churn") == 0) {
       config.churn_enabled = false;
     } else if (std::strcmp(arg, "--no-retain-cache") == 0) {
