@@ -716,6 +716,12 @@ Result<MessagePtr> WireDecode(const uint8_t* data, size_t size) {
 }
 
 size_t WireEncodedSize(const Message& msg) {
+  // Unregistered types (the TrafficBreakdown `other` family: reserved
+  // ranges, test traffic) have no encoder; charge the modeled estimate so
+  // --wire=encoded accounts them instead of CHECK-failing in WireEncodeTo.
+  if (WireRegistry::Global().Find(msg.type) == nullptr) {
+    return msg.SizeBytes();
+  }
   thread_local std::vector<uint8_t> scratch;
   scratch.clear();
   WireEncodeTo(msg, &scratch);

@@ -85,7 +85,9 @@ inline Result<MessagePtr> WireDecode(const std::vector<uint8_t>& buf) {
 
 /// Actual encoded length of `msg` — the --wire=encoded traffic sizer
 /// (matches Network::SetMessageSizer's signature). Reuses a thread-local
-/// buffer so per-message accounting does not allocate.
+/// buffer so per-message accounting does not allocate. Unregistered types
+/// fall back to Message::SizeBytes() so `other`-family traffic is still
+/// accounted rather than crashing the run.
 size_t WireEncodedSize(const Message& msg);
 
 }  // namespace flowercdn

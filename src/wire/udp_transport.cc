@@ -33,12 +33,32 @@ void UdpLoopbackTransport::CloseAll() {
     if (ep.fd >= 0) ::close(ep.fd);
   }
   sockets_.clear();
-  fd_to_peer_.clear();
+}
+
+void UdpLoopbackTransport::EvictIdleSockets(PeerId src, PeerId dst) {
+  FLOWERCDN_CHECK(in_flight_ == 0)
+      << "udp-loopback: evicting sockets with datagrams in flight";
+  while (sockets_.size() > kMaxOpenSockets - 2) {
+    auto victim = sockets_.end();
+    for (auto it = sockets_.begin(); it != sockets_.end(); ++it) {
+      if (it->first == src || it->first == dst) continue;
+      if (victim == sockets_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == sockets_.end()) return;  // only src/dst left
+    ::close(victim->second.fd);
+    sockets_.erase(victim);
+  }
 }
 
 UdpLoopbackTransport::Endpoint& UdpLoopbackTransport::EndpointFor(PeerId peer) {
   auto it = sockets_.find(peer);
-  if (it != sockets_.end()) return it->second;
+  if (it != sockets_.end()) {
+    it->second.last_use = ++use_clock_;
+    return it->second;
+  }
 
   int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   FLOWERCDN_CHECK(fd >= 0) << "socket(): " << strerror(errno);
@@ -63,12 +83,15 @@ UdpLoopbackTransport::Endpoint& UdpLoopbackTransport::EndpointFor(PeerId peer) {
   Endpoint ep;
   ep.fd = fd;
   ep.port = ntohs(addr.sin_port);
-  fd_to_peer_[fd] = peer;
+  ep.last_use = ++use_clock_;
   return sockets_.emplace(peer, ep).first->second;
 }
 
 void UdpLoopbackTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
                                  size_t accounted_bytes, MessagePtr msg) {
+  // Nothing is in flight between carries (the previous Carry pumped to
+  // completion), so this is the safe moment to recycle idle sockets.
+  EvictIdleSockets(src, dst);
   Endpoint& from = EndpointFor(src);
   Endpoint& to = EndpointFor(dst);
 

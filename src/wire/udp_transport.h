@@ -20,6 +20,13 @@ namespace flowercdn {
 /// until the datagram has arrived and been handed back to
 /// Network::DeliverFromTransport.
 ///
+/// Open sockets are capped: before each carry, least-recently-used
+/// endpoints are closed until the pool fits the cap, so a long churny run
+/// with a large identity universe cannot exhaust the process fd limit.
+/// Eviction only happens while nothing is in flight (every carry pumps to
+/// completion before returning), and a cold peer simply gets a fresh
+/// socket — with a new kernel-picked port — on its next send or receive.
+///
 /// The synchronous pump is what keeps simulations bit-identical to the
 /// in-process backend: deliveries are scheduled in exactly the same order
 /// as Send() calls, and simulated latency still comes from the topology
@@ -39,6 +46,11 @@ namespace flowercdn {
 /// CHECK-fails after a timeout rather than retrying.
 class UdpLoopbackTransport : public Transport {
  public:
+  /// Open-socket cap, well under the common 1024-fd process limit. A churny
+  /// run cycles many identities through the transport; without a cap each
+  /// identity ever seen would hold a socket forever.
+  static constexpr size_t kMaxOpenSockets = 256;
+
   explicit UdpLoopbackTransport(Network* network) : network_(network) {}
   UdpLoopbackTransport(const UdpLoopbackTransport&) = delete;
   UdpLoopbackTransport& operator=(const UdpLoopbackTransport&) = delete;
@@ -63,10 +75,16 @@ class UdpLoopbackTransport : public Transport {
   struct Endpoint {
     int fd = -1;
     uint16_t port = 0;
+    uint64_t last_use = 0;  // use_clock_ stamp for LRU eviction
   };
 
   /// Returns the bound socket for `peer`, opening it on first use.
   Endpoint& EndpointFor(PeerId peer);
+
+  /// Closes least-recently-used endpoints (never `src`/`dst`) until the
+  /// pool has room for the upcoming carry. Must only run while no
+  /// datagram is in flight.
+  void EvictIdleSockets(PeerId src, PeerId dst);
 
   /// Polls all sockets until `in_flight_` datagrams have been received and
   /// delivered; CHECK-fails if the kernel sits on them for ~5 s.
@@ -77,7 +95,7 @@ class UdpLoopbackTransport : public Transport {
 
   Network* network_;
   std::unordered_map<PeerId, Endpoint> sockets_;
-  std::unordered_map<int, PeerId> fd_to_peer_;
+  uint64_t use_clock_ = 0;
   size_t in_flight_ = 0;
   std::vector<uint8_t> frame_;  // reused per-carry scratch buffer
   uint64_t datagrams_sent_ = 0;

@@ -57,6 +57,15 @@ TEST(WireRegistryTest, UnknownTypesAreNotFound) {
   EXPECT_EQ(registry.Find(kContentMessageBase), nullptr);
 }
 
+// The --wire=encoded sizer must account unregistered types (the traffic
+// breakdown's `other` family: reserved ranges, test traffic) with their
+// modeled estimate instead of CHECK-failing the run.
+TEST(WireCodecTest, EncodedSizeFallsBackForUnregisteredTypes) {
+  Message msg;
+  msg.type = kContentMessageBase;  // no codec registered
+  EXPECT_EQ(WireEncodedSize(msg), msg.SizeBytes());
+}
+
 TEST(WireCodecTest, SamplesCoverEveryRegisteredType) {
   std::set<MessageType> seen;
   for (const MessagePtr& msg : BuildSampleMessages()) {

@@ -6,9 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "chord/messages.h"
 #include "expt/env.h"
 #include "expt/flower_system.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
 #include "sim/types.h"
+#include "util/random.h"
 #include "wire/udp_transport.h"
 
 namespace flowercdn {
@@ -128,6 +136,40 @@ TEST(WireTransportTest, UdpRunsAreDeterministic) {
   EXPECT_EQ(first.bytes_sent, second.bytes_sent);
   EXPECT_EQ(first.events_processed, second.events_processed);
   EXPECT_EQ(first.final_population, second.final_population);
+}
+
+// A run that touches more identities than the socket cap must recycle
+// sockets instead of holding one fd per peer ever seen — otherwise a long
+// churny run exhausts the process fd limit and socket() CHECK-fails.
+TEST(WireTransportTest, SocketPoolIsCapped) {
+  class SinkNode : public SimNode {
+   public:
+    void HandleMessage(MessagePtr /*msg*/) override {}
+  };
+
+  Simulator sim;
+  Topology topology(Topology::Params{});
+  Network network(&sim, &topology);
+  UdpLoopbackTransport udp(&network);
+  network.SetTransport(&udp);
+
+  constexpr PeerId kPeers = 2 * UdpLoopbackTransport::kMaxOpenSockets + 50;
+  Rng rng(1);
+  std::vector<std::unique_ptr<SinkNode>> nodes;
+  nodes.reserve(kPeers);
+  for (PeerId p = 1; p <= kPeers; ++p) {
+    network.RegisterIdentity(p, topology.PlaceInLocality(0, rng));
+    nodes.push_back(std::make_unique<SinkNode>());
+    network.Attach(p, nodes.back().get());
+  }
+  for (PeerId p = 1; p < kPeers; ++p) {
+    network.Send(p, p + 1, std::make_unique<ChordPingMsg>());
+  }
+  sim.Run();
+
+  EXPECT_EQ(udp.datagrams_sent(), uint64_t(kPeers - 1));
+  EXPECT_EQ(udp.datagrams_received(), udp.datagrams_sent());
+  EXPECT_LE(udp.open_sockets(), UdpLoopbackTransport::kMaxOpenSockets);
 }
 
 }  // namespace
