@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# bench/live_cluster — the live-cluster benchmark behind BENCH_live.json.
+#
+# Unlike the other benches (single-process simulator binaries), this one
+# measures the real serving path: 4 flowercdn-node processes carry overlay
+# traffic over TCP, each fronts an HTTP gateway, and flowercdn-loadgen
+# drives Zipf GETs through them. The merged result (per-rank transport and
+# gateway stats + loadgen QPS/latency quantiles) lands in BENCH_live.json;
+# schema in EXPERIMENTS.md, runtime architecture in docs/CLUSTER.md.
+#
+#   cmake --build build -j && bench/live_cluster.sh [run_local_cluster args]
+set -e
+cd "$(dirname "$0")/.."
+exec scripts/run_local_cluster.sh \
+    --world=4 --population=240 --localities=4 \
+    --connections=64 --duration-s=10 --warmup-s=2 --time-scale=30 \
+    --check --min-qps=10000 --min-peers=200 --out=BENCH_live.json "$@"

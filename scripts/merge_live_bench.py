@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Merges live-cluster run artifacts into BENCH_live.json.
+
+Inputs: one stats JSON per node process (flowercdn-node --stats-out) and
+one loadgen report JSON (flowercdn-loadgen --json-out). Output schema is
+documented in EXPERIMENTS.md ("Live cluster bench").
+
+With --check the script also asserts the invariants the CI smoke relies
+on: every response accounted, at least one petal-served byte, zero frame
+decode errors, and (optionally) a minimum sustained QPS.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", nargs="+", required=True,
+                        help="per-node stats JSON files")
+    parser.add_argument("--loadgen", required=True,
+                        help="loadgen report JSON")
+    parser.add_argument("--out", default="BENCH_live.json")
+    parser.add_argument("--check", action="store_true",
+                        help="assert CI invariants on the merged result")
+    parser.add_argument("--min-qps", type=float, default=0.0,
+                        help="with --check: minimum sustained QPS")
+    parser.add_argument("--min-peers", type=int, default=0,
+                        help="with --check: minimum total hosted peers")
+    args = parser.parse_args()
+
+    nodes = []
+    for path in args.nodes:
+        with open(path) as f:
+            nodes.append(json.load(f))
+    with open(args.loadgen) as f:
+        loadgen = json.load(f)
+
+    def node_sum(*keys):
+        total = 0
+        for node in nodes:
+            value = node
+            for key in keys:
+                value = value.get(key, {})
+            if isinstance(value, (int, float)):
+                total += value
+        return total
+
+    world = max((n.get("world", 1) for n in nodes), default=1)
+    totals = {
+        "node_processes": len(nodes),
+        "world": world,
+        "hosted_peers": node_sum("hosted_peers"),
+        "hosted_directories": node_sum("hosted_directories"),
+        "qps": loadgen.get("qps", 0.0),
+        "responses_ok": loadgen.get("responses_ok", 0),
+        "responses_error": loadgen.get("responses_error", 0),
+        "p50_ms": loadgen.get("p50_ms", 0.0),
+        "p95_ms": loadgen.get("p95_ms", 0.0),
+        "p99_ms": loadgen.get("p99_ms", 0.0),
+        # Byte split as observed by the gateways (authoritative: includes
+        # any traffic beyond this loadgen run).
+        "gateway_body_bytes_petal": node_sum("gateway", "body_bytes_petal"),
+        "gateway_body_bytes_directory":
+            node_sum("gateway", "body_bytes_directory"),
+        "gateway_body_bytes_origin": node_sum("gateway", "body_bytes_origin"),
+        "tcp_frames_sent": node_sum("tcp", "frames_sent"),
+        "tcp_frames_received": node_sum("tcp", "frames_received"),
+        "tcp_decode_errors": node_sum("tcp", "decode_errors"),
+        "tcp_reconnects": node_sum("tcp", "reconnects"),
+        "transport_drop_messages":
+            node_sum("network", "transport_drop_messages"),
+    }
+
+    merged = {"nodes": nodes, "loadgen": loadgen, "totals": totals}
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    failures = []
+    if args.check:
+        if totals["responses_ok"] <= 0:
+            failures.append("no successful responses")
+        if loadgen.get("parse_errors", 0) != 0:
+            failures.append("loadgen saw HTTP parse errors")
+        if totals["gateway_body_bytes_petal"] <= 0:
+            failures.append("no petal-served bytes")
+        if totals["tcp_decode_errors"] != 0:
+            failures.append(
+                "%d frame decode errors" % totals["tcp_decode_errors"])
+        if totals["qps"] < args.min_qps:
+            failures.append("qps %.1f below floor %.1f"
+                            % (totals["qps"], args.min_qps))
+        if totals["hosted_peers"] < args.min_peers:
+            failures.append("hosted peers %d below floor %d"
+                            % (totals["hosted_peers"], args.min_peers))
+
+    print("BENCH_live: %d nodes, %d peers, %.1f qps, "
+          "p50=%.3fms p95=%.3fms p99=%.3fms, petal bytes=%d, "
+          "origin bytes=%d, decode errors=%d"
+          % (totals["node_processes"], totals["hosted_peers"],
+             totals["qps"], totals["p50_ms"], totals["p95_ms"],
+             totals["p99_ms"], totals["gateway_body_bytes_petal"],
+             totals["gateway_body_bytes_origin"],
+             totals["tcp_decode_errors"]))
+    if failures:
+        for failure in failures:
+            print("CHECK FAILED: " + failure, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

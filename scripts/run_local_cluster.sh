@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Boots a local N-process FlowerCDN TCP cluster with HTTP gateways, fires
+# flowercdn-loadgen at them, and merges the per-rank stats plus the loadgen
+# report into a BENCH_live.json (see EXPERIMENTS.md, "Live cluster bench").
+#
+# The simulated duration is derived from the wall-clock budget the loadgen
+# needs (join wait + warmup + measurement + drain slack) and the node
+# --time-scale, so the node processes exit shortly after the loadgen is
+# done and their exit codes (zero frame-decode errors) are part of the
+# verdict.
+#
+#   scripts/run_local_cluster.sh --world=4 --population=240 \
+#       --duration-s=10 --check --min-qps=10000 --min-peers=200
+set -u
+
+WORLD=4
+POPULATION=240
+LOCALITIES=4
+WEBSITES=2
+OBJECTS=50
+TIME_SCALE=30
+SEED=42
+BASE_PORT=19500
+CONNECTIONS=64
+DURATION_S=10
+WARMUP_S=2
+JOIN_WAIT_S=10
+QPS=0
+ZIPF=0.8
+BUILD_DIR=build
+OUT=BENCH_live.json
+CHECK=0
+MIN_QPS=0
+MIN_PEERS=0
+KEEP_LOGS=0
+
+usage() {
+  cat >&2 <<EOF
+usage: $0 [options]
+  --world=N          node processes                 (default $WORLD)
+  --population=P     total sessions across cluster  (default $POPULATION)
+  --localities=K     topology localities            (default $LOCALITIES)
+  --websites=W --objects=O --seed=S --zipf=A
+  --time-scale=X     sim-ms per wall-ms             (default $TIME_SCALE)
+  --base-port=P      rank i: tcp P+i, http P+100+i  (default $BASE_PORT)
+  --connections=C    loadgen connections            (default $CONNECTIONS)
+  --duration-s=S     measured seconds               (default $DURATION_S)
+  --warmup-s=S       loadgen warmup seconds         (default $WARMUP_S)
+  --join-wait-s=S    wall wait before loadgen       (default $JOIN_WAIT_S)
+  --qps=Q            open-loop rate, 0 = closed     (default 0)
+  --build-dir=DIR    cmake build dir                (default $BUILD_DIR)
+  --out=PATH         merged bench JSON              (default $OUT)
+  --check            assert CI invariants on the merged result
+  --min-qps=Q --min-peers=P   floors for --check
+  --keep-logs        print the per-rank log paths instead of deleting
+EOF
+  exit 2
+}
+
+for arg in "$@"; do
+  case "$arg" in
+    --world=*) WORLD="${arg#*=}" ;;
+    --population=*) POPULATION="${arg#*=}" ;;
+    --localities=*) LOCALITIES="${arg#*=}" ;;
+    --websites=*) WEBSITES="${arg#*=}" ;;
+    --objects=*) OBJECTS="${arg#*=}" ;;
+    --seed=*) SEED="${arg#*=}" ;;
+    --zipf=*) ZIPF="${arg#*=}" ;;
+    --time-scale=*) TIME_SCALE="${arg#*=}" ;;
+    --base-port=*) BASE_PORT="${arg#*=}" ;;
+    --connections=*) CONNECTIONS="${arg#*=}" ;;
+    --duration-s=*) DURATION_S="${arg#*=}" ;;
+    --warmup-s=*) WARMUP_S="${arg#*=}" ;;
+    --join-wait-s=*) JOIN_WAIT_S="${arg#*=}" ;;
+    --qps=*) QPS="${arg#*=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --out=*) OUT="${arg#*=}" ;;
+    --check) CHECK=1 ;;
+    --min-qps=*) MIN_QPS="${arg#*=}" ;;
+    --min-peers=*) MIN_PEERS="${arg#*=}" ;;
+    --keep-logs) KEEP_LOGS=1 ;;
+    *) usage ;;
+  esac
+done
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+NODE_BIN="$BUILD_DIR/tools/flowercdn-node"
+LOADGEN_BIN="$BUILD_DIR/tools/flowercdn-loadgen"
+for bin in "$NODE_BIN" "$LOADGEN_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "FAIL: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+# Simulated minutes so the node processes outlive the loadgen run:
+# join wait + warmup + measurement + 8s of drain/launch slack, converted
+# to sim time at TIME_SCALE and rounded up to whole minutes.
+WALL_BUDGET_S=$((JOIN_WAIT_S + WARMUP_S + DURATION_S + 8))
+MINUTES=$(((WALL_BUDGET_S * TIME_SCALE + 59) / 60))
+
+WORKDIR=$(mktemp -d /tmp/flowercdn-cluster.XXXXXX)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  if [ "$KEEP_LOGS" = 0 ]; then rm -rf "$WORKDIR"; fi
+}
+trap cleanup EXIT
+
+CLUSTER=""
+GATEWAYS=""
+for ((i = 0; i < WORLD; ++i)); do
+  CLUSTER="${CLUSTER:+$CLUSTER,}127.0.0.1:$((BASE_PORT + i))"
+  GATEWAYS="${GATEWAYS:+$GATEWAYS,}127.0.0.1:$((BASE_PORT + 100 + i))"
+done
+
+echo "cluster: $WORLD ranks, $POPULATION peers, ${MINUTES} sim-min" \
+     "at time-scale $TIME_SCALE (${WALL_BUDGET_S}s wall budget)" >&2
+for ((i = 0; i < WORLD; ++i)); do
+  "$NODE_BIN" --transport=tcp --rank="$i" --cluster="$CLUSTER" \
+      --gateway-port=$((BASE_PORT + 100 + i)) \
+      --population="$POPULATION" --localities="$LOCALITIES" \
+      --websites="$WEBSITES" --objects="$OBJECTS" --seed="$SEED" \
+      --minutes="$MINUTES" --time-scale="$TIME_SCALE" \
+      --stats-out="$WORKDIR/node_$i.json" --quiet \
+      >"$WORKDIR/node_$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Readiness: every rank logs its gateway port once the bind succeeded.
+for ((i = 0; i < WORLD; ++i)); do
+  for ((t = 0; t < 100; ++t)); do
+    if grep -q "gateway listening on http port" "$WORKDIR/node_$i.log" \
+        2>/dev/null; then
+      break
+    fi
+    if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
+      echo "FAIL: rank $i exited during startup:" >&2
+      cat "$WORKDIR/node_$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+# Let the D-ring assemble and the client peers join their petals before
+# measuring: at time-scale X, S wall seconds are S*X simulated seconds.
+sleep "$JOIN_WAIT_S"
+
+"$LOADGEN_BIN" --targets="$GATEWAYS" --connections="$CONNECTIONS" \
+    --duration-s="$DURATION_S" --warmup-s="$WARMUP_S" --qps="$QPS" \
+    --websites="$WEBSITES" --objects="$OBJECTS" --zipf="$ZIPF" \
+    --seed="$SEED" --json-out="$WORKDIR/loadgen.json"
+LOADGEN_RC=$?
+
+# The nodes exit on their own when the simulated duration is up; their
+# exit code asserts zero frame-decode errors.
+NODE_RC=0
+for ((i = 0; i < WORLD; ++i)); do
+  if ! wait "${PIDS[$i]}"; then
+    echo "FAIL: rank $i exited nonzero:" >&2
+    tail -n 20 "$WORKDIR/node_$i.log" >&2
+    NODE_RC=1
+  fi
+done
+PIDS=()
+
+if [ "$LOADGEN_RC" != 0 ] || [ "$NODE_RC" != 0 ]; then
+  exit 1
+fi
+
+NODE_STATS=()
+for ((i = 0; i < WORLD; ++i)); do
+  NODE_STATS+=("$WORKDIR/node_$i.json")
+done
+MERGE_ARGS=(--nodes "${NODE_STATS[@]}" --loadgen "$WORKDIR/loadgen.json"
+            --out "$OUT")
+if [ "$CHECK" = 1 ]; then
+  MERGE_ARGS+=(--check --min-qps "$MIN_QPS" --min-peers "$MIN_PEERS")
+fi
+python3 "$REPO_ROOT/scripts/merge_live_bench.py" "${MERGE_ARGS[@]}" || exit 1
+
+if [ "$KEEP_LOGS" = 1 ]; then
+  echo "logs kept in $WORKDIR" >&2
+fi
+echo "wrote $OUT" >&2

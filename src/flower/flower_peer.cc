@@ -19,6 +19,18 @@ const char* FlowerRoleName(FlowerRole role) {
   return "?";
 }
 
+const char* ServedSourceName(ServedSource source) {
+  switch (source) {
+    case ServedSource::kOrigin:
+      return "origin";
+    case ServedSource::kPetal:
+      return "petal";
+    case ServedSource::kDirectory:
+      return "directory";
+  }
+  return "?";
+}
+
 FlowerPeer::FlowerPeer(const FlowerContext& ctx, PeerId self,
                        WebsiteId website, LocalityId locality,
                        ContentStore* store, Rng rng)
@@ -227,6 +239,48 @@ void FlowerPeer::IssueQuery() {
   }
 }
 
+void FlowerPeer::QueryExternal(const ObjectId& object,
+                               ExternalQueryCallback cb) {
+  if (store_->Contains(object)) {
+    // The surrogate itself caches the object: a petal hit with no protocol
+    // traffic at all — the common case for hot objects once warmed up, and
+    // what keeps a loaded gateway off the overlay's hot path.
+    QueryRecord record;
+    record.issued_at = ctx_.network->sim()->now();
+    record.hit = true;
+    record.lookup_latency_ms = 0;
+    record.transfer_distance_ms = 0;
+    record.from_new_client = false;
+    if (ctx_.metrics != nullptr) ctx_.metrics->RecordQuery(record);
+    cb(/*hit=*/true, ServedSource::kPetal, /*latency_ms=*/0);
+    return;
+  }
+  ++queries_issued_;
+  QueryState q;
+  q.object = object;
+  q.has_object = true;
+  q.t0 = ctx_.network->sim()->now();
+  q.external_id = next_external_id_++;
+  external_queries_.emplace(q.external_id, std::move(cb));
+  if (ctx_.trace != nullptr) {
+    q.trace_id = ctx_.trace->BeginQuery(self_, object.website, object.object,
+                                        q.t0, /*from_new_client=*/role_ ==
+                                            FlowerRole::kClient);
+  }
+  switch (role_) {
+    case FlowerRole::kClient:
+      q.via_dring = true;
+      ResolveViaDRing(q);
+      break;
+    case FlowerRole::kContentPeer:
+      ResolveAsContentPeer(q);
+      break;
+    case FlowerRole::kDirectoryPeer:
+      ResolveAsDirectory(q);
+      break;
+  }
+}
+
 void FlowerPeer::ResolveViaDRing(QueryState q) {
   ++q.dring_attempts;
   PeerId bootstrap = PickBootstrap();
@@ -323,6 +377,7 @@ void FlowerPeer::HandleDirReply(QueryState q, PeerId dir, PeerId responder,
       if (responder == reply.provider) {
         // The provider itself confirmed possession (directory forwarding,
         // §3.2): the object is already on its way — done.
+        q.source = ServedSource::kDirectory;
         FinishQuery(q, /*hit=*/true, ctx_.network->sim()->now(),
                     ctx_.network->LatencyMs(self_, reply.provider));
         return;
@@ -398,6 +453,7 @@ void FlowerPeer::TrySummaryCandidates(QueryState q,
                         provider, /*hops=*/-1, served);
               if (served) {
                 ++summary_hits_;
+                q.source = ServedSource::kPetal;
                 FinishQuery(q, /*hit=*/true, ctx_.network->sim()->now(),
                             ctx_.network->LatencyMs(self_, provider));
                 return;
@@ -473,6 +529,7 @@ void FlowerPeer::FetchFrom(PeerId provider, QueryState q) {
               TraceSpan(q.trace_id, QueryPhase::kFetch, span_start, provider,
                         /*hops=*/-1, served);
               if (served) {
+                q.source = ServedSource::kDirectory;
                 FinishQuery(q, /*hit=*/true, ctx_.network->sim()->now(),
                             ctx_.network->LatencyMs(self_, provider));
               } else {
@@ -508,6 +565,18 @@ void FlowerPeer::FinishQuery(const QueryState& q, bool hit,
   }
   store_->Insert(q.object);
   MaybePush();
+  if (q.external_id != 0) {
+    // Externally submitted (gateway) query: report the outcome to the
+    // driver instead of pacing the workload loop.
+    auto it = external_queries_.find(q.external_id);
+    if (it != external_queries_.end()) {
+      ExternalQueryCallback cb = std::move(it->second);
+      external_queries_.erase(it);
+      cb(hit, hit ? q.source : ServedSource::kOrigin,
+         record.lookup_latency_ms);
+    }
+    return;
+  }
   ScheduleNextQuery();
 }
 

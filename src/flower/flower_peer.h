@@ -40,6 +40,20 @@ enum class FlowerRole : uint8_t {
 
 const char* FlowerRoleName(FlowerRole role);
 
+/// Where an externally submitted query (Gateway traffic, src/net) was
+/// ultimately served from. kPetal covers the surrogate's own cache and
+/// gossip-summary probes of petal neighbors; kDirectory covers providers
+/// located through the directory service (own directory, D-ring routed,
+/// or directory collaboration); kOrigin is the fallback to the website's
+/// origin server — the only outcome that costs the content provider.
+enum class ServedSource : uint8_t {
+  kOrigin,
+  kPetal,
+  kDirectory,
+};
+
+const char* ServedSourceName(ServedSource source);
+
 /// Shared, immutable experiment context handed to every Flower session.
 struct FlowerContext {
   Network* network = nullptr;
@@ -94,7 +108,23 @@ class FlowerPeer : public SimNode {
 
   void HandleMessage(MessagePtr msg) override;
 
-  // --- Semantic search extension (paper §7 future work) ---------------------
+  // --- External query entry (the src/net Gateway's seam) ---------------------
+
+  /// Completion of one externally submitted query: whether the overlay
+  /// served it, from where, and the simulated resolution latency.
+  using ExternalQueryCallback =
+      std::function<void(bool hit, ServedSource source, double latency_ms)>;
+
+  /// Submits one query for `object` on behalf of an external client (an
+  /// HTTP request hitting the gateway in front of this peer's petal). Runs
+  /// the same resolution machinery as workload queries — summary probes,
+  /// directory lookup, D-ring routing, origin fallback — but reports its
+  /// outcome through `cb` instead of pacing the next workload query.
+  /// An object already in this peer's cache completes synchronously as a
+  /// petal hit (the surrogate itself holds the bytes). The callback is
+  /// dropped, never invoked, if the session is destroyed first — external
+  /// drivers keep their own timeout.
+  void QueryExternal(const ObjectId& object, ExternalQueryCallback cb);
 
   /// One search hit: an object carrying the keyword plus a petal member
   /// believed to provide it.
@@ -143,6 +173,12 @@ class FlowerPeer : public SimNode {
     int dring_attempts = 0;
     int scan_hops = 0;
     uint64_t trace_id = 0;  // 0 => untraced (join-only, or tracing off)
+    /// Non-zero for externally submitted queries (QueryExternal): keys the
+    /// completion callback, and suppresses the workload-pacing reschedule.
+    uint64_t external_id = 0;
+    /// Where the query ended up being served from (set at the hit sites;
+    /// the default stands for the origin fallback).
+    ServedSource source = ServedSource::kOrigin;
   };
 
   // --- Common plumbing -------------------------------------------------------
@@ -240,6 +276,10 @@ class FlowerPeer : public SimNode {
   std::unordered_map<PeerId, BloomFilter> summaries_;
   DirInfo dir_info_;
   DirectoryIndex index_;
+
+  /// In-flight QueryExternal callbacks, keyed by QueryState::external_id.
+  std::unordered_map<uint64_t, ExternalQueryCallback> external_queries_;
+  uint64_t next_external_id_ = 1;
 
   bool querying_ = false;
   bool gossip_scheduled_ = false;

@@ -1,0 +1,24 @@
+#ifndef FLOWERCDN_NET_CLOCK_H_
+#define FLOWERCDN_NET_CLOCK_H_
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace flowercdn {
+
+/// Monotonic wall clock, for everything real-time in src/net: pacing the
+/// simulator against wall time, reconnect backoff deadlines, loadgen
+/// latency measurement. Never use the simulated clock for these — the two
+/// clocks advance at different rates by design (NodeHost time_scale).
+inline int64_t MonotonicMicros() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+inline int64_t MonotonicMillis() { return MonotonicMicros() / 1000; }
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_CLOCK_H_

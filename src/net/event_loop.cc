@@ -1,0 +1,113 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+namespace {
+
+uint32_t ToEpoll(uint32_t events) {
+  uint32_t mask = 0;
+  if ((events & EventLoop::kReadable) != 0) mask |= EPOLLIN;
+  if ((events & EventLoop::kWritable) != 0) mask |= EPOLLOUT;
+  return mask;
+}
+
+uint32_t FromEpoll(uint32_t mask) {
+  uint32_t events = 0;
+  if ((mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    events |= EventLoop::kReadable;
+  }
+  if ((mask & EPOLLOUT) != 0) events |= EventLoop::kWritable;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  FLOWERCDN_CHECK(epoll_fd_ >= 0) << "epoll_create1(): " << strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, uint32_t events, FdCallback cb) {
+  FLOWERCDN_CHECK(fds_.count(fd) == 0) << "fd " << fd << " already watched";
+  Entry entry;
+  entry.cb = std::move(cb);
+  entry.events = events;
+  entry.generation = next_generation_++;
+  epoll_event ev{};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  FLOWERCDN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(ADD, " << fd << "): " << strerror(errno);
+  fds_.emplace(fd, std::move(entry));
+}
+
+void EventLoop::Update(int fd, uint32_t events) {
+  auto it = fds_.find(fd);
+  FLOWERCDN_CHECK(it != fds_.end()) << "fd " << fd << " not watched";
+  if (it->second.events == events) return;
+  it->second.events = events;
+  epoll_event ev{};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  FLOWERCDN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl(MOD, " << fd << "): " << strerror(errno);
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  // The fd may already be closed by the caller; ENOENT/EBADF are harmless.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(it);
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  epoll_event ready[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  FLOWERCDN_CHECK(n >= 0) << "epoll_wait(): " << strerror(errno);
+
+  // Snapshot (fd, generation) first: a callback may Remove any fd in this
+  // batch (or Remove+Add, recycling the number with a new generation), and
+  // such an entry must not receive the stale readiness.
+  struct Pending {
+    int fd;
+    uint64_t generation;
+    uint32_t events;
+  };
+  std::vector<Pending> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto it = fds_.find(ready[i].data.fd);
+    if (it == fds_.end()) continue;
+    batch.push_back(Pending{ready[i].data.fd, it->second.generation,
+                            FromEpoll(ready[i].events)});
+  }
+
+  int dispatched = 0;
+  for (const Pending& p : batch) {
+    auto it = fds_.find(p.fd);
+    if (it == fds_.end() || it->second.generation != p.generation) continue;
+    ++dispatched;
+    it->second.cb(p.events);
+  }
+  return dispatched;
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,67 @@
+#ifndef FLOWERCDN_NET_EVENT_LOOP_H_
+#define FLOWERCDN_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/function.h"
+
+namespace flowercdn {
+
+/// Thin epoll wrapper: register a callback per fd, poll once with a
+/// timeout, dispatch ready events. Single-threaded, like everything else
+/// in the runtime — the cluster node is one event loop interleaving
+/// socket readiness with the simulator's virtual clock (NodeHost).
+///
+/// Callbacks may Update/Remove any fd (including their own) during
+/// dispatch: removal is generation-checked, so a ready event for an fd
+/// that was removed — or removed and re-added — inside the same poll
+/// batch is not delivered to the stale callback.
+class EventLoop {
+ public:
+  /// Bitmask passed to Add/Update and into callbacks. Values match
+  /// EPOLLIN/EPOLLOUT so translation is free; error/hangup conditions are
+  /// folded into kReadable (a read will surface the error).
+  static constexpr uint32_t kReadable = 0x001;  // EPOLLIN
+  static constexpr uint32_t kWritable = 0x004;  // EPOLLOUT
+
+  using FdCallback = MoveOnlyFn<void(uint32_t events)>;
+
+  EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
+  /// Registers `fd` (not already registered) for `events`. The loop does
+  /// not own the fd — the caller closes it after Remove().
+  void Add(int fd, uint32_t events, FdCallback cb);
+
+  /// Changes the interest mask of a registered fd.
+  void Update(int fd, uint32_t events);
+
+  /// Unregisters a fd. Safe to call from inside its own callback.
+  void Remove(int fd);
+
+  bool Has(int fd) const { return fds_.count(fd) > 0; }
+  size_t watched_fds() const { return fds_.size(); }
+
+  /// Waits up to `timeout_ms` (0 = just drain what's ready, -1 = block)
+  /// for readiness and dispatches every ready callback once. Returns the
+  /// number of callbacks dispatched.
+  int PollOnce(int timeout_ms);
+
+ private:
+  struct Entry {
+    FdCallback cb;
+    uint32_t events = 0;
+    uint64_t generation = 0;
+  };
+
+  int epoll_fd_ = -1;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<int, Entry> fds_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_EVENT_LOOP_H_

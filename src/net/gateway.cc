@@ -1,0 +1,298 @@
+#include "net/gateway.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/stats.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+namespace {
+
+/// Parses a non-empty decimal segment; returns false on anything else.
+bool ParseIndex(std::string_view s, uint32_t* out) {
+  if (s.empty() || s.size() > 9) return false;
+  uint32_t value = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Gateway::Gateway(EventLoop* loop, const WebsiteCatalog* catalog,
+                 EntryPicker picker, Options options, StatsRegistry* stats)
+    : loop_(loop),
+      catalog_(catalog),
+      picker_(std::move(picker)),
+      options_(std::move(options)),
+      stats_(stats) {}
+
+Gateway::~Gateway() { CloseAll(); }
+
+size_t Gateway::ObjectBodyBytes(const ObjectId& id) {
+  return 1024 + (Mix64(id.Packed()) & 0x3FFF);  // 1 KiB .. ~17 KiB
+}
+
+void Gateway::CloseAll() {
+  for (auto& [id, conn] : conns_) {
+    loop_->Remove(conn.fd);
+    ::close(conn.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool Gateway::Listen() {
+  FLOWERCDN_CHECK(listen_fd_ < 0) << "already listening";
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FLOWERCDN_CHECK(fd >= 0) << "socket(): " << strerror(errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  FLOWERCDN_CHECK(flags >= 0 &&
+                  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(): " << strerror(errno);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FLOWERCDN_LOG(kWarning) << "gateway: bind(" << options_.host << ":"
+                            << options_.port << "): " << strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  FLOWERCDN_CHECK(::listen(fd, 512) == 0) << "listen(): " << strerror(errno);
+  socklen_t len = sizeof(addr);
+  FLOWERCDN_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                                &len) == 0)
+      << "getsockname(): " << strerror(errno);
+  port_ = ntohs(addr.sin_port);
+
+  listen_fd_ = fd;
+  loop_->Add(fd, EventLoop::kReadable, [this](uint32_t) { AcceptReady(); });
+  return true;
+}
+
+void Gateway::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      FLOWERCDN_LOG(kWarning) << "gateway: accept(): " << strerror(errno);
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      ::close(fd);  // shed load; the client sees a reset
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    loop_->Add(fd, EventLoop::kReadable, [this, id](uint32_t events) {
+      if ((events & EventLoop::kWritable) != 0) TryFlush(id);
+      if ((events & EventLoop::kReadable) != 0) OnReadable(id);
+    });
+  }
+}
+
+void Gateway::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_->Remove(it->second.fd);
+  ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void Gateway::OnReadable(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  char buf[16 * 1024];
+  while (true) {
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConn(id);
+      return;
+    }
+    if (n == 0) {
+      CloseConn(id);
+      return;
+    }
+    conn.parser.Append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  MaybeServeNext(id);
+}
+
+void Gateway::MaybeServeNext(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.busy || conn.close_after_write) return;
+
+  HttpRequest req;
+  if (!conn.parser.Next(&req)) {
+    if (conn.parser.failed()) {
+      ++stats_counters_.bad_requests;
+      Respond(id, 400, "Bad Request", {}, conn.parser.error(),
+              /*close_after=*/true);
+    }
+    return;
+  }
+  ServeRequest(id, req);
+}
+
+void Gateway::ServeRequest(uint64_t id, const HttpRequest& req) {
+  ++stats_counters_.requests;
+  if (stats_ != nullptr) stats_->Add("net.gateway.requests");
+
+  if (req.method != "GET") {
+    ++stats_counters_.bad_requests;
+    Respond(id, 405, "Method Not Allowed", {}, "GET only",
+            /*close_after=*/false);
+    return;
+  }
+  // Target shape: /<website>/<object>, both decimal catalog indices.
+  std::string_view target = req.target;
+  ObjectId object;
+  bool ok = !target.empty() && target.front() == '/';
+  if (ok) {
+    target.remove_prefix(1);
+    size_t slash = target.find('/');
+    ok = slash != std::string_view::npos &&
+         ParseIndex(target.substr(0, slash), &object.website) &&
+         ParseIndex(target.substr(slash + 1), &object.object) &&
+         static_cast<int>(object.website) < catalog_->num_websites() &&
+         static_cast<int>(object.object) < catalog_->objects_per_website();
+  }
+  if (!ok) {
+    ++stats_counters_.bad_requests;
+    Respond(id, 404, "Not Found", {}, "expected /<website>/<object>",
+            /*close_after=*/false);
+    return;
+  }
+
+  FlowerPeer* entry = picker_(object.website, id);
+  if (entry == nullptr) {
+    ++stats_counters_.unavailable;
+    Respond(id, 503, "Service Unavailable", {},
+            "no hosted peer for this website", /*close_after=*/false);
+    return;
+  }
+
+  conns_[id].busy = true;
+  entry->QueryExternal(object, [this, id, object](bool hit,
+                                                  ServedSource source,
+                                                  double lookup_ms) {
+    OnQueryDone(id, object, hit, source, lookup_ms);
+  });
+}
+
+void Gateway::OnQueryDone(uint64_t id, const ObjectId& object, bool hit,
+                          ServedSource source, double lookup_ms) {
+  size_t body_bytes = ObjectBodyBytes(object);
+  switch (source) {
+    case ServedSource::kPetal:
+      ++stats_counters_.served_petal;
+      stats_counters_.body_bytes_petal += body_bytes;
+      break;
+    case ServedSource::kDirectory:
+      ++stats_counters_.served_directory;
+      stats_counters_.body_bytes_directory += body_bytes;
+      break;
+    case ServedSource::kOrigin:
+      ++stats_counters_.served_origin;
+      stats_counters_.body_bytes_origin += body_bytes;
+      break;
+  }
+
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // client went away mid-query
+  it->second.busy = false;
+
+  char lookup[32];
+  snprintf(lookup, sizeof(lookup), "%.1f", lookup_ms);
+  std::string body(body_bytes, 'x');
+  Respond(id, 200, "OK",
+          {{"X-FlowerCDN-Source", ServedSourceName(source)},
+           {"X-FlowerCDN-Hit", hit ? "1" : "0"},
+           {"X-FlowerCDN-Lookup-Ms", lookup},
+           {"Content-Type", "application/octet-stream"}},
+          body, /*close_after=*/false);
+}
+
+void Gateway::Respond(uint64_t id, int status, const char* reason,
+                      const std::vector<HttpHeader>& headers,
+                      std::string_view body, bool close_after) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  conn.out.append(BuildHttpResponse(status, reason, headers, body));
+  conn.close_after_write = conn.close_after_write || close_after;
+  ++stats_counters_.responses;
+  TryFlush(id);
+}
+
+void Gateway::TryFlush(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (conn.out_offset < conn.out.size()) {
+    ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                        conn.out.size() - conn.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConn(id);
+      return;
+    }
+    conn.out_offset += static_cast<size_t>(n);
+  }
+  if (conn.out_offset >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.close_after_write) {
+      CloseConn(id);
+      return;
+    }
+    if (conn.want_writable) {
+      conn.want_writable = false;
+      loop_->Update(conn.fd, EventLoop::kReadable);
+    }
+    // The parser may hold a pipelined request that arrived while busy.
+    MaybeServeNext(id);
+    return;
+  }
+  if (!conn.want_writable) {
+    conn.want_writable = true;
+    loop_->Update(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  }
+}
+
+}  // namespace flowercdn

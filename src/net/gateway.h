@@ -1,0 +1,115 @@
+#ifndef FLOWERCDN_NET_GATEWAY_H_
+#define FLOWERCDN_NET_GATEWAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "flower/flower_peer.h"
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "storage/object_id.h"
+#include "storage/website.h"
+
+namespace flowercdn {
+
+class StatsRegistry;
+
+/// HTTP/1.1 front door of a cluster node: `GET /<website>/<object>` is
+/// resolved through a hosted Flower-CDN peer (FlowerPeer::QueryExternal) —
+/// petal summary hit, directory-routed lookup, or origin fallback — and
+/// answered with a synthetic object body plus headers saying where the
+/// bytes came from:
+///
+///     X-FlowerCDN-Source: petal | directory | origin
+///     X-FlowerCDN-Hit:    1 | 0          (served from the overlay?)
+///     X-FlowerCDN-Lookup-Ms: <sim ms>    (simulated lookup latency)
+///
+/// Connections are keep-alive; requests on one connection are served in
+/// order (a parsed request waits until the previous response is written).
+/// Object bodies are deterministic filler of ObjectBodyBytes() length, so
+/// the petal-vs-origin byte split is reproducible across runs.
+class Gateway {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-picked (see port())
+    size_t max_connections = 4096;
+  };
+
+  /// Picks a hosted entry peer interested in `website` (salt spreads the
+  /// load across candidates). Returning nullptr yields a 503.
+  using EntryPicker = std::function<FlowerPeer*(WebsiteId, uint64_t salt)>;
+
+  Gateway(EventLoop* loop, const WebsiteCatalog* catalog, EntryPicker picker,
+          Options options, StatsRegistry* stats);
+  Gateway(EventLoop* loop, const WebsiteCatalog* catalog, EntryPicker picker)
+      : Gateway(loop, catalog, std::move(picker), Options(), nullptr) {}
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+  ~Gateway();
+
+  bool Listen();
+  uint16_t port() const { return port_; }
+  void CloseAll();
+
+  /// Deterministic synthetic body size of an object: 1–17 KiB, hashed from
+  /// the id so repeated fetches agree everywhere.
+  static size_t ObjectBodyBytes(const ObjectId& id);
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    uint64_t bad_requests = 0;
+    uint64_t unavailable = 0;  // 503: no hosted entry peer
+    uint64_t served_petal = 0;
+    uint64_t served_directory = 0;
+    uint64_t served_origin = 0;
+    uint64_t body_bytes_petal = 0;
+    uint64_t body_bytes_directory = 0;
+    uint64_t body_bytes_origin = 0;
+  };
+  const Stats& stats() const { return stats_counters_; }
+  size_t open_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    HttpRequestParser parser;
+    std::string out;        // response bytes not yet written
+    size_t out_offset = 0;
+    bool busy = false;      // a query is in flight for this connection
+    bool want_writable = false;
+    bool close_after_write = false;
+  };
+
+  void AcceptReady();
+  void OnReadable(uint64_t id);
+  void MaybeServeNext(uint64_t id);
+  void ServeRequest(uint64_t id, const HttpRequest& req);
+  void OnQueryDone(uint64_t id, const ObjectId& object, bool hit,
+                   ServedSource source, double lookup_ms);
+  void Respond(uint64_t id, int status, const char* reason,
+               const std::vector<HttpHeader>& headers, std::string_view body,
+               bool close_after);
+  void TryFlush(uint64_t id);
+  void CloseConn(uint64_t id);
+
+  EventLoop* loop_;
+  const WebsiteCatalog* catalog_;
+  EntryPicker picker_;
+  Options options_;
+  StatsRegistry* stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, Conn> conns_;
+  Stats stats_counters_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_GATEWAY_H_

@@ -1,0 +1,110 @@
+#ifndef FLOWERCDN_NET_HTTP_H_
+#define FLOWERCDN_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace flowercdn {
+
+/// Minimal HTTP/1.1 subset shared by the content gateway (server side) and
+/// the load generator (client side): request line / status line, headers,
+/// Content-Length framing, keep-alive. No chunked encoding, no bodies on
+/// requests — the gateway speaks GET only, and rejects anything fancier
+/// with a 4xx instead of guessing.
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive header lookup; returns nullptr when absent.
+const std::string* FindHeader(const std::vector<HttpHeader>& headers,
+                              std::string_view name);
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  // "HTTP/1.1"
+  std::vector<HttpHeader> headers;
+
+  const std::string* Header(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::string reason;
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  const std::string* Header(std::string_view name) const {
+    return FindHeader(headers, name);
+  }
+};
+
+/// Incremental parser for a stream of bodyless requests (pipelining-safe):
+/// feed whatever read() returned, pop complete requests in order. Latches
+/// failed on malformed input or a request with a body — the connection
+/// should then be answered with an error and closed.
+class HttpRequestParser {
+ public:
+  /// `max_head_bytes` bounds one request head (request line + headers).
+  explicit HttpRequestParser(size_t max_head_bytes = 16 * 1024)
+      : max_head_bytes_(max_head_bytes) {}
+
+  void Append(const char* data, size_t n);
+  bool Next(HttpRequest* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  void Fail(const std::string& reason);
+
+  size_t max_head_bytes_;
+  std::string buf_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Incremental parser for responses with Content-Length framing (what the
+/// gateway emits). A response without Content-Length fails the stream.
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(size_t max_head_bytes = 16 * 1024,
+                              size_t max_body_bytes = 8 * 1024 * 1024)
+      : max_head_bytes_(max_head_bytes), max_body_bytes_(max_body_bytes) {}
+
+  void Append(const char* data, size_t n);
+  bool Next(HttpResponse* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& reason);
+
+  size_t max_head_bytes_;
+  size_t max_body_bytes_;
+  std::string buf_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Serializes a GET request (keep-alive implied by HTTP/1.1).
+std::string BuildHttpRequest(std::string_view target,
+                             const std::vector<HttpHeader>& headers = {});
+
+/// Serializes a response; Content-Length is added automatically.
+std::string BuildHttpResponse(int status, std::string_view reason,
+                              const std::vector<HttpHeader>& headers,
+                              std::string_view body);
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_HTTP_H_

@@ -1,0 +1,387 @@
+#include "net/node_host.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "net/clock.h"
+#include "obs/stats.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace flowercdn {
+
+NodeHost::NodeHost(ExperimentEnv* env, const FlowerParams& params,
+                   Options options)
+    : env_(env),
+      params_(params),
+      options_(std::move(options)),
+      keyspace_(env->config().catalog.num_websites,
+                env->config().topology.num_localities,
+                params.max_instances) {
+  FLOWERCDN_CHECK(env != nullptr);
+  FLOWERCDN_CHECK(!options_.members.empty()) << "empty cluster";
+  FLOWERCDN_CHECK(options_.rank >= 0 &&
+                  static_cast<size_t>(options_.rank) <
+                      options_.members.size())
+      << "rank " << options_.rank << " outside cluster of "
+      << options_.members.size();
+  FLOWERCDN_CHECK(options_.time_scale > 0) << "time_scale must be positive";
+
+  ctx_.network = &env_->network();
+  ctx_.metrics = &env_->metrics();
+  ctx_.catalog = &env_->catalog();
+  ctx_.workload = &env_->workload();
+  ctx_.origins = &env_->origins();
+  ctx_.keyspace = &keyspace_;
+  ctx_.params = &params_;
+  ctx_.trace = env_->trace_ptr();
+  ctx_.stats = &env_->stats();
+  ctx_.pick_dring_bootstrap = [this](PeerId self) {
+    return PickClusterBootstrap(self);
+  };
+}
+
+NodeHost::~NodeHost() {
+  // Tear sockets down before the sessions they might call back into.
+  gateway_.reset();
+  tcp_.reset();
+  udp_.reset();
+}
+
+int NodeHost::OwnerOf(PeerId peer) const {
+  size_t w = options_.members.size();
+  if (w == 1) return 0;
+  switch (options_.partition) {
+    case PartitionScheme::kHash:
+      return static_cast<int>(Mix64(peer) % w);
+    case PartitionScheme::kLocality:
+      return static_cast<int>(
+          static_cast<size_t>(env_->identity(peer).locality) % w);
+  }
+  return 0;
+}
+
+size_t NodeHost::hosted_directories() const {
+  size_t n = 0;
+  for (const auto& [peer, session] : sessions_) {
+    if (session->role() == FlowerRole::kDirectoryPeer) ++n;
+  }
+  return n;
+}
+
+FlowerPeer* NodeHost::session(PeerId peer) {
+  auto it = sessions_.find(peer);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+FlowerPeer* NodeHost::PeerForWebsite(WebsiteId website, uint64_t salt) {
+  auto it = website_peers_.find(website);
+  if (it == website_peers_.end() || it->second.empty()) return nullptr;
+  size_t idx = Mix64(salt ^ (static_cast<uint64_t>(website) << 32)) %
+               it->second.size();
+  return it->second[idx];
+}
+
+PeerId NodeHost::PickClusterBootstrap(PeerId self) const {
+  // Static rendezvous: the initial directory identities are deterministic
+  // and, with no churn in cluster mode, permanently live. Spreading the
+  // choice over the first few keeps the join load off one hub.
+  size_t n = std::min<size_t>(initial_directories_, 8);
+  if (n == 0) return kInvalidPeer;
+  size_t idx = Mix64(self) % n;
+  PeerId candidate = static_cast<PeerId>(idx + 1);
+  if (candidate == self) {
+    if (n == 1) return kInvalidPeer;
+    candidate = static_cast<PeerId>((idx + 1) % n + 1);
+  }
+  return candidate;
+}
+
+FlowerPeer* NodeHost::CreateSession(PeerId peer) {
+  const ExperimentEnv::Identity& identity = env_->identity(peer);
+  auto session = std::make_unique<FlowerPeer>(
+      ctx_, peer, identity.website, identity.locality,
+      &env_->identity(peer).store, env_->MakePeerRng(peer));
+  FlowerPeer* raw = session.get();
+  sessions_.emplace(peer, std::move(session));
+  website_peers_[identity.website].push_back(raw);
+  return raw;
+}
+
+void NodeHost::LaunchDirectory(PeerId peer, bool create_ring) {
+  FlowerPeer* session = CreateSession(peer);
+  if (create_ring) {
+    session->StartAsDirectory(0, std::nullopt);
+    return;
+  }
+  PeerId bootstrap = PickClusterBootstrap(peer);
+  session->StartAsDirectory(0, bootstrap == kInvalidPeer
+                                   ? std::nullopt
+                                   : std::optional<PeerId>(bootstrap));
+}
+
+void NodeHost::LaunchClient(PeerId peer) {
+  CreateSession(peer)->StartAsClient();
+}
+
+bool NodeHost::Setup() {
+  Network& network = env_->network();
+  switch (options_.transport) {
+    case TransportKind::kInProcess:
+      break;
+    case TransportKind::kUdp:
+      FLOWERCDN_CHECK(world() == 1)
+          << "udp-loopback transport is single-process";
+      udp_ = std::make_unique<UdpLoopbackTransport>(&network);
+      network.SetTransport(udp_.get());
+      break;
+    case TransportKind::kTcp:
+      tcp_ = std::make_unique<TcpTransport>(
+          &network, &loop_, options_.rank, options_.members,
+          [this](PeerId peer) { return OwnerOf(peer); }, options_.tcp,
+          &env_->stats());
+      if (!tcp_->Listen()) return false;
+      network.SetTransport(tcp_.get());
+      break;
+  }
+
+  const ExperimentConfig& config = env_->config();
+  const int k = config.topology.num_localities;
+  const int num_websites = config.catalog.num_websites;
+  initial_directories_ =
+      static_cast<size_t>(num_websites) * static_cast<size_t>(k);
+
+  size_t population =
+      options_.population > 0 ? options_.population : config.target_population;
+  population = std::max(population, initial_directories_);
+  population = std::min(population, env_->universe_size());
+
+  // The initial D-ring: every rank schedules the same global launch
+  // timeline and skips the identities it does not own, so launch times
+  // agree across the cluster without coordination.
+  size_t global_index = 0;
+  for (int ws = 0; ws < num_websites; ++ws) {
+    for (int loc = 0; loc < k; ++loc) {
+      PeerId peer = env_->InitialDirectoryIdentity(
+          static_cast<WebsiteId>(ws), static_cast<LocalityId>(loc));
+      if (OwnerOf(peer) == options_.rank) {
+        SimDuration at = static_cast<SimDuration>(global_index) *
+                         config.initial_join_stagger;
+        bool create_ring = global_index == 0;
+        env_->sim().Schedule(at, [this, peer, create_ring]() {
+          LaunchDirectory(peer, create_ring);
+        });
+      }
+      ++global_index;
+    }
+  }
+
+  // The rest of the population joins as clients, spread over a window
+  // after the directory launch completes.
+  SimDuration dir_window = static_cast<SimDuration>(initial_directories_) *
+                               config.initial_join_stagger +
+                           1;
+  size_t num_clients = population - initial_directories_;
+  for (size_t i = 0; i < num_clients; ++i) {
+    PeerId peer = static_cast<PeerId>(initial_directories_ + i + 1);
+    if (OwnerOf(peer) != options_.rank) continue;
+    SimDuration at =
+        dir_window + static_cast<SimDuration>(
+                         (static_cast<uint64_t>(options_.client_join_spread) *
+                          i) /
+                         std::max<size_t>(num_clients, 1));
+    env_->sim().Schedule(at, [this, peer]() { LaunchClient(peer); });
+  }
+
+  if (options_.enable_gateway) {
+    gateway_ = std::make_unique<Gateway>(
+        &loop_, &env_->catalog(),
+        [this](WebsiteId ws, uint64_t salt) {
+          return PeerForWebsite(ws, salt);
+        },
+        options_.gateway, &env_->stats());
+    if (!gateway_->Listen()) return false;
+  }
+  return true;
+}
+
+void NodeHost::RunPaced(SimDuration sim_duration) {
+  const int64_t wall0 = MonotonicMillis();
+  int64_t last_gauges_ms = 0;
+  while (!stop_) {
+    int64_t wall = MonotonicMillis() - wall0;
+    SimTime target = static_cast<SimTime>(static_cast<double>(wall) *
+                                          options_.time_scale);
+    if (target > sim_duration) target = sim_duration;
+    if (target > env_->sim().now()) env_->sim().RunUntil(target);
+    if (target >= sim_duration) break;
+
+    int timeout_ms = 20;
+    SimTime next = env_->sim().NextEventTime();
+    if (next >= 0) {
+      int64_t due_wall = static_cast<int64_t>(static_cast<double>(next) /
+                                              options_.time_scale);
+      int64_t delta = due_wall - (MonotonicMillis() - wall0);
+      if (delta < 0) delta = 0;
+      if (delta < timeout_ms) timeout_ms = static_cast<int>(delta);
+    }
+    if (tcp_ != nullptr) {
+      int t = tcp_->Tick();
+      if (t >= 0 && t < timeout_ms) timeout_ms = t;
+    }
+    loop_.PollOnce(timeout_ms);
+    if (wall - last_gauges_ms >= 1000) {
+      last_gauges_ms = wall;
+      ExportGauges();
+    }
+  }
+  ExportGauges();
+}
+
+void NodeHost::RunFast(SimDuration sim_duration, SimDuration chunk,
+                       const std::function<void()>& on_chunk) {
+  FLOWERCDN_CHECK(chunk > 0);
+  SimTime t = env_->sim().now();
+  while (!stop_ && t < sim_duration) {
+    t = std::min<SimTime>(t + chunk, sim_duration);
+    env_->sim().RunUntil(t);
+    loop_.PollOnce(0);
+    if (tcp_ != nullptr) tcp_->Tick();
+    if (on_chunk) on_chunk();
+  }
+  ExportGauges();
+}
+
+void NodeHost::ExportGauges() {
+  StatsRegistry& stats = env_->stats();
+  stats.Set("net.host.hosted_peers", static_cast<double>(sessions_.size()));
+  if (tcp_ != nullptr) tcp_->ExportGauges();
+  if (udp_ != nullptr) {
+    stats.Set("net.udp.open_sockets",
+              static_cast<double>(udp_->open_sockets()));
+  }
+  if (gateway_ != nullptr) {
+    stats.Set("net.gateway.open_connections",
+              static_cast<double>(gateway_->open_connections()));
+  }
+}
+
+bool NodeHost::WriteStatsJson(const std::string& path,
+                              double wall_seconds) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    FLOWERCDN_LOG(kWarning) << "cannot write " << path;
+    return false;
+  }
+  const Network& network = env_->network();
+  const Network::TrafficBreakdown& traffic = network.traffic();
+
+  const char* transport = "in-process";
+  if (tcp_ != nullptr) transport = tcp_->name();
+  if (udp_ != nullptr) transport = udp_->name();
+
+  std::fprintf(f,
+               "{\n"
+               "  \"rank\": %d,\n"
+               "  \"world\": %zu,\n"
+               "  \"transport\": \"%s\",\n"
+               "  \"hosted_peers\": %zu,\n"
+               "  \"hosted_directories\": %zu,\n"
+               "  \"sim_time_ms\": %lld,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"time_scale\": %.3f,\n",
+               options_.rank, world(), transport, sessions_.size(),
+               hosted_directories(),
+               static_cast<long long>(env_->sim().now()), wall_seconds,
+               options_.time_scale);
+  std::fprintf(
+      f,
+      "  \"network\": {\n"
+      "    \"messages_sent\": %llu,\n"
+      "    \"messages_delivered\": %llu,\n"
+      "    \"messages_dropped\": %llu,\n"
+      "    \"bytes_sent\": %llu,\n"
+      "    \"transport_drop_messages\": %llu,\n"
+      "    \"transport_drop_bytes\": %llu\n"
+      "  },\n",
+      static_cast<unsigned long long>(network.messages_sent()),
+      static_cast<unsigned long long>(network.messages_delivered()),
+      static_cast<unsigned long long>(network.messages_dropped()),
+      static_cast<unsigned long long>(network.bytes_sent()),
+      static_cast<unsigned long long>(traffic.transport_drop.messages),
+      static_cast<unsigned long long>(traffic.transport_drop.bytes));
+  if (tcp_ != nullptr) {
+    std::fprintf(
+        f,
+        "  \"tcp\": {\n"
+        "    \"frames_sent\": %llu,\n"
+        "    \"frames_received\": %llu,\n"
+        "    \"bytes_sent\": %llu,\n"
+        "    \"bytes_received\": %llu,\n"
+        "    \"frames_dropped\": %llu,\n"
+        "    \"decode_errors\": %llu,\n"
+        "    \"reconnects\": %llu,\n"
+        "    \"connect_failures\": %llu,\n"
+        "    \"backpressure_events\": %llu,\n"
+        "    \"peak_queued_bytes\": %zu,\n"
+        "    \"accepted_evicted\": %llu\n"
+        "  },\n",
+        static_cast<unsigned long long>(tcp_->frames_sent()),
+        static_cast<unsigned long long>(tcp_->frames_received()),
+        static_cast<unsigned long long>(tcp_->bytes_sent()),
+        static_cast<unsigned long long>(tcp_->bytes_received()),
+        static_cast<unsigned long long>(tcp_->frames_dropped()),
+        static_cast<unsigned long long>(tcp_->decode_errors()),
+        static_cast<unsigned long long>(tcp_->reconnects()),
+        static_cast<unsigned long long>(tcp_->connect_failures()),
+        static_cast<unsigned long long>(tcp_->backpressure_events()),
+        tcp_->peak_queued_bytes(),
+        static_cast<unsigned long long>(tcp_->accepted_evicted()));
+  }
+  if (udp_ != nullptr) {
+    std::fprintf(
+        f,
+        "  \"udp\": {\n"
+        "    \"datagrams_sent\": %llu,\n"
+        "    \"datagrams_received\": %llu,\n"
+        "    \"datagrams_dropped\": %llu,\n"
+        "    \"socket_bytes_sent\": %llu\n"
+        "  },\n",
+        static_cast<unsigned long long>(udp_->datagrams_sent()),
+        static_cast<unsigned long long>(udp_->datagrams_received()),
+        static_cast<unsigned long long>(udp_->datagrams_dropped()),
+        static_cast<unsigned long long>(udp_->socket_bytes_sent()));
+  }
+  const Gateway::Stats gw =
+      gateway_ != nullptr ? gateway_->stats() : Gateway::Stats{};
+  std::fprintf(
+      f,
+      "  \"gateway\": {\n"
+      "    \"requests\": %llu,\n"
+      "    \"responses\": %llu,\n"
+      "    \"bad_requests\": %llu,\n"
+      "    \"unavailable\": %llu,\n"
+      "    \"served_petal\": %llu,\n"
+      "    \"served_directory\": %llu,\n"
+      "    \"served_origin\": %llu,\n"
+      "    \"body_bytes_petal\": %llu,\n"
+      "    \"body_bytes_directory\": %llu,\n"
+      "    \"body_bytes_origin\": %llu\n"
+      "  }\n"
+      "}\n",
+      static_cast<unsigned long long>(gw.requests),
+      static_cast<unsigned long long>(gw.responses),
+      static_cast<unsigned long long>(gw.bad_requests),
+      static_cast<unsigned long long>(gw.unavailable),
+      static_cast<unsigned long long>(gw.served_petal),
+      static_cast<unsigned long long>(gw.served_directory),
+      static_cast<unsigned long long>(gw.served_origin),
+      static_cast<unsigned long long>(gw.body_bytes_petal),
+      static_cast<unsigned long long>(gw.body_bytes_directory),
+      static_cast<unsigned long long>(gw.body_bytes_origin));
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace flowercdn

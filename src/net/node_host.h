@@ -1,0 +1,146 @@
+#ifndef FLOWERCDN_NET_NODE_HOST_H_
+#define FLOWERCDN_NET_NODE_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expt/env.h"
+#include "flower/dring.h"
+#include "flower/flower_peer.h"
+#include "net/event_loop.h"
+#include "net/gateway.h"
+#include "net/tcp_transport.h"
+#include "wire/udp_transport.h"
+
+namespace flowercdn {
+
+/// Which backend carries protocol messages out of this process.
+enum class TransportKind { kInProcess, kUdp, kTcp };
+
+/// How peer identities are assigned to cluster ranks. Every rank computes
+/// the same assignment from the shared config, so there is no membership
+/// protocol — ownership is a pure function.
+///  * kHash: owner = Mix64(peer) % world. Even spread; most petal traffic
+///    crosses rank boundaries.
+///  * kLocality: owner = locality % world. Petals (which are per-locality)
+///    stay rank-local, so only D-ring routing and cross-locality lookups
+///    hit the sockets — the deployment-shaped choice.
+enum class PartitionScheme { kHash, kLocality };
+
+/// One process of a (possibly multi-process) live deployment, hosting many
+/// virtual Flower-CDN peers on a single event loop. The simulator remains
+/// the scheduler — protocol timers and deliveries are simulated events —
+/// but the clock is paced against wall time (RunPaced) and every message
+/// whose destination lives on another rank travels a real TCP stream.
+///
+/// The whole identity universe is built deterministically from the shared
+/// ExperimentConfig on every rank (same seed => same identities, websites,
+/// coordinates); each rank attaches only the sessions it owns. Messages to
+/// remote peers are carried by TcpTransport to the owning rank; a peer that
+/// has not launched yet NACKs/times out exactly like a dead peer in the
+/// simulation, so cluster start skew is absorbed by the protocol's own
+/// retries. Cluster mode runs a static population (no churn): robustness
+/// under churn is the simulator's job, the cluster runtime measures the
+/// serving path.
+class NodeHost {
+ public:
+  struct Options {
+    int rank = 0;
+    /// One entry per rank; members[rank] is this process. A single default
+    /// member means single-process.
+    std::vector<ClusterMember> members{ClusterMember{}};
+    TransportKind transport = TransportKind::kInProcess;
+    PartitionScheme partition = PartitionScheme::kHash;
+    /// Simulated ms advanced per wall ms in RunPaced (20 => 1 sim-hour
+    /// takes 3 wall-minutes).
+    double time_scale = 1.0;
+    /// Sessions launched across the whole cluster (split by ownership).
+    /// 0 means config.target_population.
+    size_t population = 0;
+    /// Sim-time window over which non-directory peers join (after the
+    /// directory launch window).
+    SimDuration client_join_spread = 30 * kSecond;
+    bool enable_gateway = false;
+    Gateway::Options gateway;
+    TcpTransport::Options tcp;
+  };
+
+  NodeHost(ExperimentEnv* env, const FlowerParams& params, Options options);
+  NodeHost(const NodeHost&) = delete;
+  NodeHost& operator=(const NodeHost&) = delete;
+  ~NodeHost();
+
+  /// Installs the transport (TCP mode: binds the listen port — false on
+  /// failure), schedules the owned slice of the population, and starts the
+  /// gateway when enabled.
+  bool Setup();
+
+  int OwnerOf(PeerId peer) const;
+  size_t world() const { return options_.members.size(); }
+  int rank() const { return options_.rank; }
+  size_t hosted_peers() const { return sessions_.size(); }
+  size_t hosted_directories() const;
+  FlowerPeer* session(PeerId peer);
+  /// Hosted entry peer interested in `website` (stable per salt, so one
+  /// client connection keeps warming the same surrogate's cache), or
+  /// nullptr when this rank hosts no peer of that website.
+  FlowerPeer* PeerForWebsite(WebsiteId website, uint64_t salt);
+
+  EventLoop& loop() { return loop_; }
+  TcpTransport* tcp() { return tcp_.get(); }
+  UdpLoopbackTransport* udp() { return udp_.get(); }
+  Gateway* gateway() { return gateway_.get(); }
+  ExperimentEnv* env() { return env_; }
+
+  /// Advances the simulated clock against wall time while serving sockets,
+  /// until `sim_duration` is reached or Stop() is called.
+  void RunPaced(SimDuration sim_duration);
+
+  /// Runs the simulator as fast as it can in `chunk`-sized steps, polling
+  /// sockets (gateway, transport timers) between chunks. For single-process
+  /// modes where wall pacing has no value. `on_chunk` (optional) runs after
+  /// every chunk.
+  void RunFast(SimDuration sim_duration, SimDuration chunk,
+               const std::function<void()>& on_chunk = nullptr);
+
+  void Stop() { stop_ = true; }
+  bool stopped() const { return stop_; }
+
+  /// Pushes level-style stats (hosted peers, queue depth, pool occupancy,
+  /// gateway connections) into the env's StatsRegistry as net.* gauges.
+  void ExportGauges();
+
+  /// Writes the node's live-run stats as a JSON object to `path`
+  /// (BENCH_live.json node record; schema in EXPERIMENTS.md).
+  bool WriteStatsJson(const std::string& path, double wall_seconds) const;
+
+ private:
+  void LaunchDirectory(PeerId peer, bool create_ring);
+  void LaunchClient(PeerId peer);
+  PeerId PickClusterBootstrap(PeerId self) const;
+  FlowerPeer* CreateSession(PeerId peer);
+
+  ExperimentEnv* env_;
+  FlowerParams params_;
+  Options options_;
+  DRingKeyspace keyspace_;
+  FlowerContext ctx_;
+  EventLoop loop_;
+
+  std::unique_ptr<UdpLoopbackTransport> udp_;
+  std::unique_ptr<TcpTransport> tcp_;
+  std::unique_ptr<Gateway> gateway_;
+
+  std::unordered_map<PeerId, std::unique_ptr<FlowerPeer>> sessions_;
+  std::unordered_map<WebsiteId, std::vector<FlowerPeer*>> website_peers_;
+  size_t initial_directories_ = 0;  // k * |W| (global, not per-rank)
+  bool stop_ = false;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_NODE_HOST_H_

@@ -170,6 +170,13 @@ void Network::Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
       });
 }
 
+void Network::NoteTransportDrop(const Message& msg, size_t accounted_bytes) {
+  (void)msg;  // reserved for per-family drop classification
+  ++messages_dropped_;
+  ++traffic_.transport_drop.messages;
+  traffic_.transport_drop.bytes += accounted_bytes;
+}
+
 EventId Network::SchedulePeer(PeerId peer, Incarnation inc, SimDuration delay,
                               EventFn fn) {
   return sim_->Schedule(delay,

@@ -166,6 +166,14 @@ class Network {
     /// Messages lost to the fault-injection layer (link loss, partitions).
     /// Like `dropped`, counted in addition to the send-time family.
     Family injected_loss;
+    /// Messages a transport backend could not carry: kernel send-buffer
+    /// exhaustion, oversized encodings, write-queue overflow past the hard
+    /// cap. Counted like `injected_loss` — in addition to the send-time
+    /// family — via NoteTransportDrop. Deliberately absent from the runner
+    /// JSON schema: the default in-process backend can never drop, so
+    /// simulation exports stay byte-identical; live/socket runs surface it
+    /// through their own stats output.
+    Family transport_drop;
     /// Pending RPC calls cancelled by RpcEndpoint::CancelAll (session
     /// detach) before their response or timeout arrived.
     uint64_t rpc_cancelled = 0;
@@ -174,6 +182,13 @@ class Network {
 
   /// Accounts `n` pending calls torn down by an RpcEndpoint on detach.
   void NoteRpcCancelled(uint64_t n) { traffic_.rpc_cancelled += n; }
+
+  /// Accounts a message a transport backend dropped instead of carrying
+  /// (send-buffer exhaustion, oversized encoding, queue overflow). The
+  /// backend must call this exactly once for every Carry() it does not
+  /// complete with DeliverFromTransport. `accounted_bytes` is the size the
+  /// initiating Send() charged.
+  void NoteTransportDrop(const Message& msg, size_t accounted_bytes);
 
  private:
   struct IdentityState {

@@ -54,6 +54,13 @@ class Simulator {
   /// Number of events dispatched so far.
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Timestamp of the earliest pending event, or -1 when the queue is
+  /// empty. Lets a real-time pacer (src/net NodeHost) sleep in epoll for
+  /// exactly the gap until the next due event instead of busy-stepping.
+  SimTime NextEventTime() const {
+    return queue_.Empty() ? -1 : queue_.NextTime();
+  }
+
   /// Number of events currently pending.
   size_t pending_events() const { return queue_.Size(); }
 

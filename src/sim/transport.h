@@ -23,9 +23,12 @@ class Transport {
   /// Carries `msg` toward `dst`. Implementations must (synchronously or
   /// from a later pump) invoke Network::DeliverFromTransport exactly once
   /// per call with the same (dst, latency, accounted_bytes) triple, on the
-  /// simulation thread. `accounted_bytes` is the wire size the network
-  /// charged at send time (modeled or encoded, per the active sizer) and is
-  /// reused for drop accounting at delivery time.
+  /// simulation thread — or, if the backend cannot carry the message (send
+  /// buffer exhausted, encoding oversized, write queue past its hard cap),
+  /// account the loss with exactly one Network::NoteTransportDrop call
+  /// instead. `accounted_bytes` is the wire size the network charged at
+  /// send time (modeled or encoded, per the active sizer) and is reused
+  /// for drop accounting at delivery time.
   virtual void Carry(PeerId src, PeerId dst, SimDuration latency,
                      size_t accounted_bytes, MessagePtr msg) = 0;
 

@@ -1,0 +1,89 @@
+#include "wire/frame.h"
+
+#include <cstring>
+
+#include "wire/buffer.h"
+#include "wire/codec.h"
+
+namespace flowercdn {
+
+size_t EncodeFrame(const Message& msg, uint64_t accounted_bytes,
+                   SimDuration latency, std::vector<uint8_t>* out) {
+  size_t start = out->size();
+  WireWriter w(out);
+  w.U32(0);  // payload_len back-patched below
+  w.U64(accounted_bytes);
+  w.U64(static_cast<uint64_t>(latency));
+  WireEncodeTo(msg, out);
+  size_t payload_len = out->size() - start - kFrameHeaderBytes;
+  w.PatchU32(start, static_cast<uint32_t>(payload_len));
+  return payload_len;
+}
+
+bool ParseFrameHeader(const uint8_t* data, size_t size, FrameHeader* out,
+                      std::string* error) {
+  WireReader r(data, size);
+  out->payload_len = r.U32();
+  out->accounted_bytes = r.U64();
+  out->latency = static_cast<SimDuration>(r.U64());
+  if (!r.ok()) {
+    if (error != nullptr) *error = "truncated frame header";
+    return false;
+  }
+  if (out->latency < 0) {
+    if (error != nullptr) *error = "negative frame latency";
+    return false;
+  }
+  return true;
+}
+
+void FrameAssembler::Fail(const std::string& reason) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = reason;
+  }
+  buf_.clear();
+  consumed_ = 0;
+}
+
+void FrameAssembler::Append(const uint8_t* data, size_t n) {
+  if (failed_ || n == 0) return;
+  // Compact once the consumed prefix dominates the buffer, so long-lived
+  // connections do not grow their buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameAssembler::Next(Frame* out) {
+  if (failed_) return false;
+  if (buffered_bytes() < kFrameHeaderBytes) return false;
+  FrameHeader header;
+  std::string error;
+  if (!ParseFrameHeader(buf_.data() + consumed_, kFrameHeaderBytes, &header,
+                        &error)) {
+    Fail(error);
+    return false;
+  }
+  if (header.payload_len > max_payload_) {
+    Fail("oversized frame payload (" + std::to_string(header.payload_len) +
+         " bytes)");
+    return false;
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + header.payload_len) {
+    return false;  // payload still in flight
+  }
+  out->header = header;
+  const uint8_t* payload = buf_.data() + consumed_ + kFrameHeaderBytes;
+  out->payload.assign(payload, payload + header.payload_len);
+  consumed_ += kFrameHeaderBytes + header.payload_len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace flowercdn

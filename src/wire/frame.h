@@ -1,0 +1,99 @@
+#ifndef FLOWERCDN_WIRE_FRAME_H_
+#define FLOWERCDN_WIRE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/types.h"
+
+namespace flowercdn {
+
+/// Transport frame shared by every socket backend (docs/PROTOCOL.md,
+/// "Transport framing"). One frame carries one wire-encoded message plus
+/// the two pieces of simulation metadata that must survive the hop:
+///
+///     offset  size  field            (little-endian)
+///          0     4  payload_len      encoded message length
+///          4     8  accounted_bytes  what Network::Send charged
+///         12     8  latency_ms       simulated one-way delay (>= 0)
+///         20     -  payload          src/wire encoded message
+///
+/// The UDP loopback backend ships one frame per datagram; the TCP backend
+/// concatenates frames on a byte stream and reassembles them with
+/// FrameAssembler below.
+constexpr size_t kFrameHeaderBytes = 4 + 8 + 8;
+
+/// Decode-side cap on a frame's payload. Far above any real message (the
+/// largest protocol encodings are a few KiB); a stream that claims more is
+/// corrupt or hostile and is rejected before any allocation is sized from
+/// the claim.
+constexpr size_t kMaxFramePayload = 1 << 20;
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint64_t accounted_bytes = 0;
+  SimDuration latency = 0;
+};
+
+/// Appends one complete frame (header + encoded `msg`) to `out`; returns
+/// the payload length. The message type must be registered with the wire
+/// codec.
+size_t EncodeFrame(const Message& msg, uint64_t accounted_bytes,
+                   SimDuration latency, std::vector<uint8_t>* out);
+
+/// Parses a frame header from the first kFrameHeaderBytes of `data`.
+/// Returns false (and sets *error) on short input or a negative latency.
+/// Does not validate payload_len against a cap — datagram callers check it
+/// against the datagram size, stream callers against kMaxFramePayload.
+bool ParseFrameHeader(const uint8_t* data, size_t size, FrameHeader* out,
+                      std::string* error);
+
+/// Incremental reassembler for frames on a byte stream (TCP). Feed it
+/// whatever recv() returned — a read may end in the middle of the 4-byte
+/// length prefix, a header, a payload, or carry several frames at once —
+/// and pop complete frames in order.
+///
+/// The assembler latches into a failed state on a malformed header
+/// (negative latency) or an oversized payload claim; a failed stream must
+/// be torn down, not resynchronized (there are no frame boundaries to
+/// recover on a byte stream).
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  struct Frame {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+  };
+
+  /// Appends raw stream bytes. No-op once failed.
+  void Append(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame into `*out`. Returns false when the
+  /// buffered bytes do not yet form a complete frame (or the stream has
+  /// failed — check failed()).
+  bool Next(Frame* out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  void Fail(const std::string& reason);
+
+  size_t max_payload_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // prefix of buf_ already handed out as frames
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_WIRE_FRAME_H_

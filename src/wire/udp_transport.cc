@@ -14,11 +14,11 @@
 #include "util/logging.h"
 #include "wire/buffer.h"
 #include "wire/codec.h"
+#include "wire/frame.h"
 
 namespace flowercdn {
 namespace {
 
-constexpr size_t kFramePrefixBytes = 4 + 8 + 8;  // len + accounted + latency
 // Loopback path MTU is ~64 KiB; every protocol message fits with room to
 // spare (the largest golden sample is well under 1 KiB, handoffs a few KiB).
 constexpr size_t kMaxDatagram = 65000;
@@ -96,16 +96,19 @@ void UdpLoopbackTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
   Endpoint& to = EndpointFor(dst);
 
   frame_.clear();
-  WireWriter w(&frame_);
-  w.U32(0);  // payload_len back-patched below
-  w.U64(accounted_bytes);
-  w.U64(uint64_t(latency));
-  WireEncodeTo(*msg, &frame_);
-  size_t payload_len = frame_.size() - kFramePrefixBytes;
-  w.PatchU32(0, uint32_t(payload_len));
-  FLOWERCDN_CHECK(frame_.size() <= kMaxDatagram)
-      << "message type " << msg->type << " encodes to " << payload_len
-      << " bytes, past the loopback datagram bound";
+  size_t payload_len = EncodeFrame(*msg, accounted_bytes, latency, &frame_);
+  if (frame_.size() > kMaxDatagram) {
+    // The encoding cannot ride one loopback datagram. Losing it silently
+    // would make the protocol stall mysteriously; crashing would let one
+    // oversized test message kill a whole run. Count it and move on — the
+    // sender's RPC timeout is the recovery path, exactly as for real loss.
+    FLOWERCDN_LOG(kWarning) << "udp-loopback: message type " << msg->type
+                            << " encodes to " << payload_len
+                            << " bytes, past the datagram bound; dropped";
+    ++datagrams_dropped_;
+    network_->NoteTransportDrop(*msg, accounted_bytes);
+    return;
+  }
 
   sockaddr_in to_addr{};
   to_addr.sin_family = AF_INET;
@@ -114,6 +117,16 @@ void UdpLoopbackTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
   ssize_t sent = ::sendto(from.fd, frame_.data(), frame_.size(), 0,
                           reinterpret_cast<sockaddr*>(&to_addr),
                           sizeof(to_addr));
+  if (sent < 0 &&
+      (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+       errno == EMSGSIZE)) {
+    // Kernel send-buffer exhaustion (or an MTU surprise): surface it as a
+    // counted drop — the message is gone, like any lossy-link datagram —
+    // instead of silently losing it or aborting the run.
+    ++datagrams_dropped_;
+    network_->NoteTransportDrop(*msg, accounted_bytes);
+    return;
+  }
   FLOWERCDN_CHECK(sent == ssize_t(frame_.size()))
       << "sendto(127.0.0.1:" << to.port << "): " << strerror(errno);
   ++datagrams_sent_;
@@ -167,21 +180,21 @@ void UdpLoopbackTransport::DrainSocket(int fd) {
     FLOWERCDN_CHECK(in_flight_ > 0) << "udp-loopback: unexpected datagram";
     --in_flight_;
 
-    WireReader r(buf, size_t(n));
-    uint32_t payload_len = r.U32();
-    uint64_t accounted_bytes = r.U64();
-    SimDuration latency = SimDuration(r.U64());
-    FLOWERCDN_CHECK(r.ok() && payload_len == size_t(n) - kFramePrefixBytes)
-        << "udp-loopback: corrupt frame (" << n << " bytes)";
+    FrameHeader header;
+    std::string frame_error;
+    FLOWERCDN_CHECK(ParseFrameHeader(buf, size_t(n), &header, &frame_error) &&
+                    header.payload_len == size_t(n) - kFrameHeaderBytes)
+        << "udp-loopback: corrupt frame (" << n << " bytes): " << frame_error;
 
     Result<MessagePtr> decoded =
-        WireDecode(buf + kFramePrefixBytes, payload_len);
+        WireDecode(buf + kFrameHeaderBytes, header.payload_len);
     FLOWERCDN_CHECK(decoded.ok())
         << "udp-loopback: undecodable datagram: "
         << decoded.status().ToString();
     MessagePtr msg = std::move(decoded).value();
     PeerId dst = msg->dst;
-    network_->DeliverFromTransport(dst, latency, size_t(accounted_bytes),
+    network_->DeliverFromTransport(dst, header.latency,
+                                   size_t(header.accounted_bytes),
                                    std::move(msg));
   }
 }

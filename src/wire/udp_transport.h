@@ -67,6 +67,11 @@ class UdpLoopbackTransport : public Transport {
   // --- Socket-level stats (the live demo prints these) ---------------------
   uint64_t datagrams_sent() const { return datagrams_sent_; }
   uint64_t datagrams_received() const { return datagrams_received_; }
+  /// Datagrams this backend had to drop on the floor: kernel send-buffer
+  /// exhaustion (EAGAIN/ENOBUFS) or an encoding past the loopback datagram
+  /// bound. Each is also accounted in the network's transport_drop traffic
+  /// family, so loss is visible instead of silent.
+  uint64_t datagrams_dropped() const { return datagrams_dropped_; }
   /// Actual bytes shipped over the sockets (frames included).
   uint64_t socket_bytes_sent() const { return socket_bytes_sent_; }
   size_t open_sockets() const { return sockets_.size(); }
@@ -100,6 +105,7 @@ class UdpLoopbackTransport : public Transport {
   std::vector<uint8_t> frame_;  // reused per-carry scratch buffer
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_received_ = 0;
+  uint64_t datagrams_dropped_ = 0;
   uint64_t socket_bytes_sent_ = 0;
 };
 

@@ -1,0 +1,124 @@
+// TCP frame reassembly: a byte stream slices frames arbitrarily — a read
+// can end inside the 4-byte length prefix, inside the header, inside the
+// payload, or carry several frames at once — and the assembler must
+// reproduce the exact frame sequence regardless, while rejecting corrupt
+// or oversized claims by latching failed (a byte stream has no boundary
+// to resynchronize on).
+
+#include "wire/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chord/messages.h"
+#include "wire/codec.h"
+
+namespace flowercdn {
+namespace {
+
+std::vector<uint8_t> OneFrame(uint64_t rpc_id, uint64_t accounted,
+                              SimDuration latency) {
+  ChordPingMsg msg;
+  msg.src = 7;
+  msg.dst = 9;
+  msg.rpc_id = rpc_id;
+  std::vector<uint8_t> out;
+  EncodeFrame(msg, accounted, latency, &out);
+  return out;
+}
+
+uint64_t RpcIdOf(const FrameAssembler::Frame& frame) {
+  auto decoded = WireDecode(frame.payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().message();
+  return (*decoded)->rpc_id;
+}
+
+// Feeding one byte at a time must yield exactly the encoded frame: the
+// length prefix, the rest of the header, and the payload all straddle
+// reads.
+TEST(NetFrameTest, ReassemblesFromSingleByteReads) {
+  std::vector<uint8_t> bytes = OneFrame(42, 123, 55);
+  FrameAssembler assembler;
+  FrameAssembler::Frame frame;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_FALSE(assembler.Next(&frame))
+        << "frame completed early at byte " << i;
+    assembler.Append(&bytes[i], 1);
+  }
+  ASSERT_TRUE(assembler.Next(&frame));
+  EXPECT_EQ(frame.header.accounted_bytes, 123u);
+  EXPECT_EQ(frame.header.latency, 55);
+  EXPECT_EQ(RpcIdOf(frame), 42u);
+  EXPECT_FALSE(assembler.Next(&frame));
+  EXPECT_FALSE(assembler.failed());
+}
+
+// Several frames concatenated and then re-chunked at every possible split
+// point must always come back out as the same frame sequence.
+TEST(NetFrameTest, TornMultiFrameWritesAtEverySplitPoint) {
+  std::vector<uint8_t> stream;
+  for (uint64_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> f = OneFrame(100 + i, 10 * i, SimDuration(i));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameAssembler assembler;
+    assembler.Append(stream.data(), split);
+    assembler.Append(stream.data() + split, stream.size() - split);
+    FrameAssembler::Frame frame;
+    for (uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(assembler.Next(&frame)) << "split=" << split;
+      EXPECT_EQ(RpcIdOf(frame), 100 + i) << "split=" << split;
+      EXPECT_EQ(frame.header.accounted_bytes, 10 * i);
+    }
+    EXPECT_FALSE(assembler.Next(&frame));
+    EXPECT_FALSE(assembler.failed());
+  }
+}
+
+// A header claiming a payload beyond the cap must latch the stream failed
+// before any payload bytes are consumed — the claim itself is the attack.
+TEST(NetFrameTest, OversizedClaimLatchesFailed) {
+  std::vector<uint8_t> bytes = OneFrame(1, 1, 1);
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(bytes.data(), &huge, sizeof(huge));
+
+  FrameAssembler assembler;
+  assembler.Append(bytes.data(), bytes.size());
+  FrameAssembler::Frame frame;
+  EXPECT_FALSE(assembler.Next(&frame));
+  EXPECT_TRUE(assembler.failed());
+
+  // Failed is sticky: more bytes never revive the stream.
+  assembler.Append(bytes.data(), bytes.size());
+  EXPECT_FALSE(assembler.Next(&frame));
+  EXPECT_TRUE(assembler.failed());
+}
+
+// A custom (lower) payload cap applies the same way — the TCP transport
+// passes its configured limit through.
+TEST(NetFrameTest, CustomPayloadCapIsEnforced) {
+  std::vector<uint8_t> bytes = OneFrame(1, 1, 1);
+  FrameAssembler tight(4);  // every real payload is bigger than this
+  tight.Append(bytes.data(), bytes.size());
+  FrameAssembler::Frame frame;
+  EXPECT_FALSE(tight.Next(&frame));
+  EXPECT_TRUE(tight.failed());
+}
+
+// A malformed header (negative latency) fails the stream too.
+TEST(NetFrameTest, NegativeLatencyLatchesFailed) {
+  std::vector<uint8_t> bytes = OneFrame(1, 1, 1);
+  int64_t bad = -5;
+  std::memcpy(bytes.data() + 12, &bad, sizeof(bad));
+  FrameAssembler assembler;
+  assembler.Append(bytes.data(), bytes.size());
+  FrameAssembler::Frame frame;
+  EXPECT_FALSE(assembler.Next(&frame));
+  EXPECT_TRUE(assembler.failed());
+}
+
+}  // namespace
+}  // namespace flowercdn

@@ -11,6 +11,8 @@
 
 #include "chord/messages.h"
 #include "expt/env.h"
+#include "flower/messages.h"
+#include "storage/object_id.h"
 #include "expt/flower_system.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -170,6 +172,53 @@ TEST(WireTransportTest, SocketPoolIsCapped) {
   EXPECT_EQ(udp.datagrams_sent(), uint64_t(kPeers - 1));
   EXPECT_EQ(udp.datagrams_received(), udp.datagrams_sent());
   EXPECT_LE(udp.open_sockets(), UdpLoopbackTransport::kMaxOpenSockets);
+}
+
+// A message whose encoding cannot ride one loopback datagram must become a
+// counted transport drop — visible in both the backend's own counter and
+// the network's transport_drop traffic family — never a crash or a silent
+// loss, and the run must keep going afterwards.
+TEST(WireTransportTest, OversizedEncodingIsACountedDrop) {
+  class SinkNode : public SimNode {
+   public:
+    void HandleMessage(MessagePtr /*msg*/) override { ++received; }
+    int received = 0;
+  };
+
+  Simulator sim;
+  Topology topology(Topology::Params{});
+  Network network(&sim, &topology);
+  UdpLoopbackTransport udp(&network);
+  network.SetTransport(&udp);
+
+  Rng rng(1);
+  SinkNode a, b;
+  network.RegisterIdentity(1, topology.PlaceInLocality(0, rng));
+  network.RegisterIdentity(2, topology.PlaceInLocality(0, rng));
+  network.Attach(1, &a);
+  network.Attach(2, &b);
+
+  // A directory handoff indexing 10k objects encodes to ~80 KB — far past
+  // the 64 KB datagram bound.
+  auto huge = std::make_unique<FlowerDirHandoffMsg>();
+  std::vector<ObjectId> objects;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    objects.push_back(ObjectId{0, i});
+  }
+  huge->index.peers.emplace_back(PeerId{7}, std::move(objects));
+  network.Send(1, 2, std::move(huge));
+  sim.Run();
+
+  EXPECT_EQ(b.received, 0);
+  EXPECT_EQ(udp.datagrams_dropped(), 1u);
+  EXPECT_EQ(network.traffic().transport_drop.messages, 1u);
+  EXPECT_GT(network.traffic().transport_drop.bytes, 0u);
+
+  // The transport is unharmed: a normal message still crosses the socket.
+  network.Send(1, 2, std::make_unique<ChordPingMsg>());
+  sim.Run();
+  EXPECT_EQ(b.received, 1);
+  EXPECT_EQ(udp.datagrams_dropped(), 1u);
 }
 
 }  // namespace
