@@ -105,7 +105,16 @@ int EventLoop::PollOnce(int timeout_ms) {
     auto it = fds_.find(p.fd);
     if (it == fds_.end() || it->second.generation != p.generation) continue;
     ++dispatched;
-    it->second.cb(p.events);
+    // Run the closure out of the map node: a callback that Removes its own
+    // fd erases the entry, and executing from inside it would free the
+    // closure's captures mid-call. Restore it afterwards only if the same
+    // registration (fd + generation) still exists.
+    FdCallback cb = std::move(it->second.cb);
+    cb(p.events);
+    it = fds_.find(p.fd);
+    if (it != fds_.end() && it->second.generation == p.generation) {
+      it->second.cb = std::move(cb);
+    }
   }
   return dispatched;
 }

@@ -16,7 +16,9 @@ namespace flowercdn {
 /// Callbacks may Update/Remove any fd (including their own) during
 /// dispatch: removal is generation-checked, so a ready event for an fd
 /// that was removed — or removed and re-added — inside the same poll
-/// batch is not delivered to the stale callback.
+/// batch is not delivered to the stale callback. The running closure is
+/// moved out of the registry for the duration of its call, so removing
+/// its own fd never destroys the closure mid-execution.
 class EventLoop {
  public:
   /// Bitmask passed to Add/Update and into callbacks. Values match

@@ -32,15 +32,18 @@ std::string_view Trim(std::string_view s) {
 /// Locates the end of a message head ("\r\n\r\n", tolerating bare "\n\n").
 /// Returns npos when the head is still incomplete.
 size_t FindHeadEnd(const std::string& buf, size_t* head_len) {
-  size_t pos = buf.find("\r\n\r\n");
-  if (pos != std::string::npos) {
-    *head_len = pos + 4;
-    return pos;
+  // Take whichever terminator occurs first: a bare-LF head followed by a
+  // pipelined CRLF head must not resolve at the later CRLF terminator.
+  size_t crlf = buf.find("\r\n\r\n");
+  size_t lf = buf.find("\n\n");
+  if (crlf != std::string::npos &&
+      (lf == std::string::npos || crlf < lf)) {
+    *head_len = crlf + 4;
+    return crlf;
   }
-  pos = buf.find("\n\n");
-  if (pos != std::string::npos) {
-    *head_len = pos + 2;
-    return pos;
+  if (lf != std::string::npos) {
+    *head_len = lf + 2;
+    return lf;
   }
   return std::string::npos;
 }

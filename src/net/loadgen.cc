@@ -118,7 +118,7 @@ void LoadGenerator::OpenConn(size_t idx) {
   if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
     ++report_.connect_failures;
-    return;  // retried on the next poll round via MaybeIssue
+    return;  // Run() reopens dead connections on the next round
   }
   c.fd = fd;
   c.connecting = true;
@@ -312,7 +312,9 @@ LoadGenerator::Report LoadGenerator::Run() {
         }
         backlog_.push_back(NextTarget());
       }
-      for (size_t i = 0; i < conns_.size() && !backlog_.empty(); ++i) {
+      for (size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i].fd < 0) OpenConn(i);
+        if (backlog_.empty()) continue;
         MaybeIssue(i);
       }
     } else {

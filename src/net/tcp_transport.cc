@@ -293,8 +293,9 @@ void TcpTransport::StartConnect(int rank) {
       << "bad member host " << members_[static_cast<size_t>(rank)].host;
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
+    int err = errno;  // close() below may clobber errno
     ::close(fd);
-    Disconnect(rank, strerror(errno));
+    Disconnect(rank, strerror(err));
     return;
   }
   c.fd = fd;
@@ -357,8 +358,13 @@ void TcpTransport::Disconnect(int rank, const char* why) {
     ::close(c.fd);
     c.fd = -1;
   }
-  ++connect_failures_;
-  CountEvent("net.tcp.connect_failures");
+  if (c.state == OutConn::State::kConnected) {
+    ++conn_drops_;
+    CountEvent("net.tcp.conn_drops");
+  } else {
+    ++connect_failures_;
+    CountEvent("net.tcp.connect_failures");
+  }
   // A partially-written front frame cannot be resumed mid-stream; the
   // fresh connection is a fresh stream, so resend it from the top.
   c.first_offset = 0;

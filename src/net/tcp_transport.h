@@ -130,7 +130,10 @@ class TcpTransport : public Transport {
   /// Inbound streams torn down for framing or payload decode failures.
   uint64_t decode_errors() const { return decode_errors_; }
   uint64_t reconnects() const { return reconnects_; }
+  /// Dials that never reached kConnected (synchronous or async failure).
   uint64_t connect_failures() const { return connect_failures_; }
+  /// Established connections lost (peer closed, reset, write failure).
+  uint64_t conn_drops() const { return conn_drops_; }
   uint64_t backpressure_events() const { return backpressure_events_; }
   uint64_t accepted_evicted() const { return accepted_evicted_; }
   /// Total queued-but-unsent bytes across outbound connections.
@@ -199,6 +202,7 @@ class TcpTransport : public Transport {
   uint64_t decode_errors_ = 0;
   uint64_t reconnects_ = 0;
   uint64_t connect_failures_ = 0;
+  uint64_t conn_drops_ = 0;
   uint64_t backpressure_events_ = 0;
   uint64_t accepted_evicted_ = 0;
   size_t queued_bytes_total_ = 0;

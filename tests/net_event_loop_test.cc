@@ -1,0 +1,103 @@
+// EventLoop dispatch safety: callbacks that mutate the fd registry while
+// they run. The critical case is a callback Removing its own fd mid-call
+// (the gateway does this when a client resets with pending output) — the
+// erased map node must not take the executing closure's captures with it.
+
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+
+namespace flowercdn {
+namespace {
+
+class NetEventLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv_), 0);
+    // One byte pending makes sv_[0] readable; a fresh stream socket is
+    // always writable, so a kReadable|kWritable registration fires with
+    // both bits — the same shape as the gateway's reset-with-pending-
+    // output event.
+    ASSERT_EQ(::write(sv_[1], "x", 1), 1);
+  }
+
+  void TearDown() override {
+    if (sv_[0] >= 0) ::close(sv_[0]);
+    if (sv_[1] >= 0) ::close(sv_[1]);
+  }
+
+  int sv_[2] = {-1, -1};
+};
+
+TEST_F(NetEventLoopTest, CallbackMayRemoveItsOwnFdAndKeepRunning) {
+  EventLoop loop;
+  auto token = std::make_shared<int>(42);
+  bool captures_alive_after_remove = false;
+  int calls = 0;
+  int fd = sv_[0];
+  loop.Add(fd, EventLoop::kReadable | EventLoop::kWritable,
+           [&loop, &captures_alive_after_remove, &calls, token,
+            fd](uint32_t events) {
+             ++calls;
+             EXPECT_NE(events & EventLoop::kReadable, 0u);
+             loop.Remove(fd);
+             // The closure must outlive its (erased) registry entry:
+             // under ASan the old in-place dispatch reported a
+             // heap-use-after-free on this read.
+             captures_alive_after_remove = (*token == 42);
+           });
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(captures_alive_after_remove);
+  EXPECT_FALSE(loop.Has(fd));
+}
+
+TEST_F(NetEventLoopTest, RemoveThenReaddInsideCallbackInstallsNewCallback) {
+  EventLoop loop;
+  int old_calls = 0;
+  int new_calls = 0;
+  int fd = sv_[0];
+  loop.Add(fd, EventLoop::kReadable, [&](uint32_t) {
+    ++old_calls;
+    loop.Remove(fd);
+    loop.Add(fd, EventLoop::kReadable, [&](uint32_t) { ++new_calls; });
+  });
+  // First poll runs the old callback, which swaps in the new one; the old
+  // closure must not be restored over it after the call returns.
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(old_calls, 1);
+  EXPECT_EQ(new_calls, 0);
+  // The byte is still unread, so the fd is ready again for the new cb.
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(old_calls, 1);
+  EXPECT_EQ(new_calls, 1);
+  loop.Remove(fd);
+}
+
+TEST_F(NetEventLoopTest, CallbackRemovingAnotherPendingFdSuppressesIt) {
+  EventLoop loop;
+  // Both ends readable: each callback removes the other, so whichever
+  // dispatches first must suppress the second's stale readiness.
+  ASSERT_EQ(::write(sv_[0], "y", 1), 1);
+  int calls = 0;
+  int a = sv_[0];
+  int b = sv_[1];
+  loop.Add(a, EventLoop::kReadable, [&](uint32_t) {
+    ++calls;
+    loop.Remove(b);
+  });
+  loop.Add(b, EventLoop::kReadable, [&](uint32_t) {
+    ++calls;
+    loop.Remove(a);
+  });
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(loop.watched_fds(), 1u);
+}
+
+}  // namespace
+}  // namespace flowercdn

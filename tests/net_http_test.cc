@@ -46,6 +46,23 @@ TEST(NetHttpTest, PipelinedRequestsPopInOrder) {
   EXPECT_FALSE(parser.Next(&req));
 }
 
+TEST(NetHttpTest, BareLfRequestPipelinedBeforeCrlfRequest) {
+  // The bare-LF head must resolve at its own "\n\n" terminator, not merge
+  // with the pipelined CRLF request behind it.
+  HttpRequestParser parser;
+  Feed(&parser,
+       "GET /0/1 HTTP/1.1\nHost: a\n\n"
+       "GET /0/2 HTTP/1.1\r\nHost: b\r\n\r\n");
+  HttpRequest req;
+  ASSERT_TRUE(parser.Next(&req));
+  EXPECT_EQ(req.target, "/0/1");
+  ASSERT_TRUE(parser.Next(&req));
+  EXPECT_EQ(req.target, "/0/2");
+  EXPECT_EQ(*req.Header("Host"), "b");
+  EXPECT_FALSE(parser.Next(&req));
+  EXPECT_FALSE(parser.failed());
+}
+
 TEST(NetHttpTest, RequestSplitAcrossReads) {
   const std::string wire = "GET /5/5 HTTP/1.1\r\nHost: a\r\n\r\n";
   for (size_t split = 0; split <= wire.size(); ++split) {
