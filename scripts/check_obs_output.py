@@ -5,14 +5,21 @@ Validates that
 
   * a --trace-out file is well-formed Chrome trace-event JSON that
     chrome://tracing / Perfetto will accept (object form, "traceEvents"
-    list, complete events with integer ts/dur), and
+    list, complete events with integer ts/dur) — both the simulator's
+    single-process export (pid 1) and a cluster rank's export (pid
+    rank+1, may carry zero-duration "remote" spans tagged with a
+    trace_id), and
   * a --json-out file follows the flowercdn-runner/v4 schema, in
     particular the per-trial "overhead", "overlay" and "chaos" sections
     and the per-cell "wire_mode" label (v4 added the "nack" traffic
-    family and the wire_mode cell key).
+    family and the wire_mode cell key), and
+  * a /metrics scrape is Prometheus text exposition carrying the
+    promised flowercdn_* families; given two scrapes of the same rank,
+    every counter must be monotone between them.
 
 Usage:
   check_obs_output.py --trace trace.json --runner out.json [--chaos]
+  check_obs_output.py --metrics scrape1.txt [scrape2.txt]
 Either file argument may be given alone. --chaos additionally requires
 at least one trial to carry an enabled chaos section (use it when the
 run was driven by a --chaos scenario). Exits non-zero on the first
@@ -50,11 +57,15 @@ def check_trace(path):
 
     n_complete = 0
     n_meta = 0
+    pids = set()
     for i, ev in enumerate(events):
         require(isinstance(ev, dict), f"trace: event {i} is not an object")
         ph = ev.get("ph")
         require(ph in ("X", "M"), f"trace: event {i} has ph={ph!r}")
-        require(ev.get("pid") == 1, f"trace: event {i} pid != 1")
+        # pid 1 is the simulator; a cluster rank exports as pid rank+1.
+        require(isinstance(ev.get("pid"), int) and ev["pid"] >= 1,
+                f"trace: event {i} pid must be a positive integer")
+        pids.add(ev["pid"])
         if ph == "M":
             n_meta += 1
             continue
@@ -65,11 +76,20 @@ def check_trace(path):
                 f"trace: event {i} ts must be a non-negative integer")
         require(isinstance(ev["dur"], int) and ev["dur"] >= 0,
                 f"trace: event {i} dur must be a non-negative integer")
+        if ev.get("cat") == "remote":
+            # A foreign-rank message arrival: instantaneous, identified by
+            # the cross-rank trace id rather than a local query id.
+            require(ev["dur"] == 0, f"trace: event {i} remote span has dur")
+            for key in ("src", "trace_id"):
+                require(key in ev["args"],
+                        f"trace: remote event {i} args lack {key!r}")
+            continue
         require("query" in ev["args"],
                 f"trace: event {i} args lack the query id")
         if ev.get("cat") == "phase":
             require(ev["name"] in PHASE_NAMES,
                     f"trace: event {i} has unknown phase {ev['name']!r}")
+    require(len(pids) >= 1, "trace: no pids")
 
     require(n_meta >= 1, "trace: expected a process_name metadata event")
     require(n_complete >= 1, "trace: expected at least one complete event")
@@ -227,21 +247,112 @@ def check_runner(path, expect_chaos=False):
           f"({len(cells)} cells, {n_trials} trials, {n_chaos} with chaos)")
 
 
+# Families every live node's /metrics must always expose, traffic or not
+# (NodeHost::RenderMetrics touches them so scrapes are schema-stable).
+REQUIRED_METRIC_FAMILIES = (
+    ("flowercdn_net_gateway_requests", "counter"),
+    ("flowercdn_net_gateway_responses", "counter"),
+    ("flowercdn_net_admin_requests", "counter"),
+    ("flowercdn_net_host_hosted_peers", "gauge"),
+    ("flowercdn_eventloop_polls", "counter"),
+)
+# Summaries: expected as quantile samples plus _sum and _count.
+REQUIRED_METRIC_SUMMARIES = (
+    "flowercdn_eventloop_poll_wait_seconds",
+    "flowercdn_eventloop_callback_seconds",
+)
+
+
+def parse_exposition(path):
+    """Returns ({metric_name: float_value}, {family: type})."""
+    samples = {}
+    types = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                require(len(parts) == 4,
+                        f"{path}:{lineno}: malformed TYPE line")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            # "<name>[{labels}] <value>"
+            sp = line.rfind(" ")
+            require(sp > 0, f"{path}:{lineno}: malformed sample line")
+            name, value = line[:sp], line[sp + 1:]
+            try:
+                samples[name] = float(value)
+            except ValueError:
+                fail(f"{path}:{lineno}: non-numeric value {value!r}")
+    require(samples, f"{path}: no samples at all")
+    return samples, types
+
+
+def check_metrics(paths):
+    first, first_types = parse_exposition(paths[0])
+    for family, kind in REQUIRED_METRIC_FAMILIES:
+        require(first_types.get(family) == kind,
+                f"metrics: family {family} missing or not a {kind}")
+        require(family in first, f"metrics: no sample for {family}")
+    for family in REQUIRED_METRIC_SUMMARIES:
+        require(first_types.get(family) == "summary",
+                f"metrics: family {family} missing or not a summary")
+        for suffix in ("_sum", "_count"):
+            require(family + suffix in first,
+                    f"metrics: {family}{suffix} missing")
+        require(family + '{quantile="0.99"}' in first,
+                f"metrics: {family} lacks the 0.99 quantile sample")
+
+    if len(paths) > 1:
+        second, second_types = parse_exposition(paths[1])
+        counters = {name for name, kind in second_types.items()
+                    if kind == "counter"}
+        checked = 0
+        for name, value in first.items():
+            family = name.split("{")[0]
+            is_counter = family in counters
+            is_summary_total = (second_types.get(
+                family.rsplit("_", 1)[0]) == "summary" and
+                (family.endswith("_sum") or family.endswith("_count")))
+            if not (is_counter or is_summary_total):
+                continue
+            require(name in second,
+                    f"metrics: {name} present in scrape 1 but not 2")
+            require(second[name] >= value,
+                    f"metrics: {name} went backwards "
+                    f"({value} -> {second[name]})")
+            checked += 1
+        require(checked > 0, "metrics: no counters to compare")
+        print(f"check_obs_output: metrics OK ({len(first)} samples, "
+              f"{checked} counters monotone across 2 scrapes)")
+    else:
+        print(f"check_obs_output: metrics OK ({len(first)} samples)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace JSON from --trace-out")
     parser.add_argument("--runner", help="runner JSON from --json-out")
     parser.add_argument("--chaos", action="store_true",
                         help="require at least one chaos-enabled trial")
+    parser.add_argument("--metrics", nargs="+", metavar="SCRAPE",
+                        help="one or two /metrics scrapes of the same rank "
+                             "(two: counters must be monotone)")
     args = parser.parse_args()
-    if not args.trace and not args.runner:
-        parser.error("give --trace and/or --runner")
+    if not args.trace and not args.runner and not args.metrics:
+        parser.error("give --trace, --runner and/or --metrics")
     if args.chaos and not args.runner:
         parser.error("--chaos needs --runner")
     if args.trace:
         check_trace(args.trace)
     if args.runner:
         check_runner(args.runner, expect_chaos=args.chaos)
+    if args.metrics:
+        check_metrics(args.metrics)
 
 
 if __name__ == "__main__":

@@ -5,9 +5,17 @@ Inputs: one stats JSON per node process (flowercdn-node --stats-out) and
 one loadgen report JSON (flowercdn-loadgen --json-out). Output schema is
 documented in EXPERIMENTS.md ("Live cluster bench").
 
+Nodes run with --stats-interval carry a per-interval "intervals" series
+(qps, p50/p99 latency, hit-source mix per sampling window); the merge
+validates each node's series (monotone timestamps, well-formed records)
+and aggregates them index-wise into totals["series"] so BENCH_live.json
+shows the cluster's throughput and latency over time, not just run-end
+totals.
+
 With --check the script also asserts the invariants the CI smoke relies
 on: every response accounted, at least one petal-served byte, zero frame
-decode errors, and (optionally) a minimum sustained QPS.
+decode errors, and (optionally) a minimum sustained QPS and a minimum
+per-node interval count (--min-intervals).
 """
 
 import argparse
@@ -28,6 +36,9 @@ def main():
                         help="with --check: minimum sustained QPS")
     parser.add_argument("--min-peers", type=int, default=0,
                         help="with --check: minimum total hosted peers")
+    parser.add_argument("--min-intervals", type=int, default=0,
+                        help="with --check: minimum interval samples per "
+                             "node (run nodes with --stats-interval)")
     args = parser.parse_args()
 
     nodes = []
@@ -73,6 +84,46 @@ def main():
             node_sum("network", "transport_drop_messages"),
     }
 
+    # Per-interval series: validate each node's records, then aggregate
+    # index-wise (all nodes sample on the same --stats-interval cadence).
+    interval_keys = ("t_s", "sim_ms", "requests", "responses", "qps",
+                     "p50_ms", "p99_ms", "served_petal", "served_directory",
+                     "served_origin")
+    interval_errors = []
+    for ni, node in enumerate(nodes):
+        last_t = -1.0
+        for ii, rec in enumerate(node.get("intervals", [])):
+            missing = [k for k in interval_keys if k not in rec]
+            if missing:
+                interval_errors.append(
+                    "node %d interval %d lacks %s" % (ni, ii, missing))
+                continue
+            if rec["t_s"] <= last_t:
+                interval_errors.append(
+                    "node %d interval %d: t_s not increasing" % (ni, ii))
+            last_t = rec["t_s"]
+            if rec["responses"] > rec["requests"] + rec["served_petal"]:
+                # responses also cover 4xx/5xx, so only a sanity bound.
+                pass
+
+    depth = max((len(n.get("intervals", [])) for n in nodes), default=0)
+    series = []
+    for ii in range(depth):
+        recs = [n["intervals"][ii] for n in nodes
+                if len(n.get("intervals", [])) > ii]
+        series.append({
+            "t_s": max(r["t_s"] for r in recs),
+            "qps": sum(r["qps"] for r in recs),
+            "requests": sum(r["requests"] for r in recs),
+            "responses": sum(r["responses"] for r in recs),
+            "p50_ms_max": max(r["p50_ms"] for r in recs),
+            "p99_ms_max": max(r["p99_ms"] for r in recs),
+            "served_petal": sum(r["served_petal"] for r in recs),
+            "served_directory": sum(r["served_directory"] for r in recs),
+            "served_origin": sum(r["served_origin"] for r in recs),
+        })
+    totals["series"] = series
+
     merged = {"nodes": nodes, "loadgen": loadgen, "totals": totals}
     with open(args.out, "w") as f:
         json.dump(merged, f, indent=2, sort_keys=True)
@@ -95,15 +146,24 @@ def main():
         if totals["hosted_peers"] < args.min_peers:
             failures.append("hosted peers %d below floor %d"
                             % (totals["hosted_peers"], args.min_peers))
+        failures.extend(interval_errors)
+        for ni, node in enumerate(nodes):
+            n_intervals = len(node.get("intervals", []))
+            if n_intervals < args.min_intervals:
+                failures.append("node %d has %d interval samples, floor %d"
+                                % (ni, n_intervals, args.min_intervals))
+        if args.min_intervals > 0:
+            if sum(s["responses"] for s in series) <= 0:
+                failures.append("interval series carries no responses")
 
     print("BENCH_live: %d nodes, %d peers, %.1f qps, "
           "p50=%.3fms p95=%.3fms p99=%.3fms, petal bytes=%d, "
-          "origin bytes=%d, decode errors=%d"
+          "origin bytes=%d, decode errors=%d, %d series intervals"
           % (totals["node_processes"], totals["hosted_peers"],
              totals["qps"], totals["p50_ms"], totals["p95_ms"],
              totals["p99_ms"], totals["gateway_body_bytes_petal"],
              totals["gateway_body_bytes_origin"],
-             totals["tcp_decode_errors"]))
+             totals["tcp_decode_errors"], len(series)))
     if failures:
         for failure in failures:
             print("CHECK FAILED: " + failure, file=sys.stderr)

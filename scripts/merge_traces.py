@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Merges per-rank Chrome trace files into one cluster-wide trace.
+
+Each flowercdn-node rank writes its own trace-event JSON (--trace-out)
+with pid rank+1 and cross-rank trace ids in the event args. Merging is a
+plain event concatenation — the viewer groups by pid, and a query that
+crossed ranks shows up as a query/phase track on the entry rank plus
+zero-duration "remote" arrival markers on every rank its messages
+touched, all sharing one trace_id.
+
+With --require-cross-rank the script asserts that at least one trace_id
+appears in events of two or more distinct pids — the live-cluster proof
+that request spans actually stitch across process boundaries.
+
+Usage:
+  merge_traces.py --out cluster_trace.json [--require-cross-rank] \
+      trace_rank0.json trace_rank1.json ...
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+",
+                        help="per-rank Chrome trace JSON files")
+    parser.add_argument("--out", required=True,
+                        help="merged cluster trace path")
+    parser.add_argument("--require-cross-rank", action="store_true",
+                        help="fail unless some trace_id spans >= 2 pids")
+    args = parser.parse_args()
+
+    events = []
+    trace_pids = {}  # trace_id -> set of pids that saw it
+    for path in args.traces:
+        with open(path) as f:
+            doc = json.load(f)
+        rank_events = doc.get("traceEvents")
+        if not isinstance(rank_events, list):
+            print(f"merge_traces: FAIL: {path} has no traceEvents list",
+                  file=sys.stderr)
+            return 1
+        for ev in rank_events:
+            events.append(ev)
+            trace_id = ev.get("args", {}).get("trace_id")
+            if trace_id is not None:
+                trace_pids.setdefault(trace_id, set()).add(ev.get("pid"))
+
+    cross = {tid: pids for tid, pids in trace_pids.items() if len(pids) >= 2}
+    merged = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(args.out, "w") as f:
+        json.dump(merged, f)
+        f.write("\n")
+
+    print("merge_traces: %d events from %d ranks, %d trace ids, "
+          "%d spanning multiple ranks -> %s"
+          % (len(events), len(args.traces), len(trace_pids), len(cross),
+             args.out))
+    if args.require_cross_rank and not cross:
+        print("merge_traces: FAIL: no trace_id appears on >= 2 ranks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

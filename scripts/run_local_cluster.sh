@@ -33,6 +33,9 @@ CHECK=0
 MIN_QPS=0
 MIN_PEERS=0
 KEEP_LOGS=0
+STATS_INTERVAL_S=2
+TRACE_OUT=""
+SLOW_REQUEST_MS=500
 
 usage() {
   cat >&2 <<EOF
@@ -50,8 +53,14 @@ usage: $0 [options]
   --qps=Q            open-loop rate, 0 = closed     (default 0)
   --build-dir=DIR    cmake build dir                (default $BUILD_DIR)
   --out=PATH         merged bench JSON              (default $OUT)
-  --check            assert CI invariants on the merged result
+  --check            assert CI invariants on the merged result (also
+                     scrapes /metrics twice per rank, checks the
+                     exposition + counter monotonicity, and requires the
+                     merged trace to stitch across >= 2 ranks)
   --min-qps=Q --min-peers=P   floors for --check
+  --stats-interval=S per-node interval sampling     (default $STATS_INTERVAL_S, 0=off)
+  --trace-out=PATH   merged cluster Chrome trace    (default: temp only)
+  --slow-request-ms=X gateway slow-request log floor (default $SLOW_REQUEST_MS)
   --keep-logs        print the per-rank log paths instead of deleting
 EOF
   exit 2
@@ -78,6 +87,9 @@ for arg in "$@"; do
     --check) CHECK=1 ;;
     --min-qps=*) MIN_QPS="${arg#*=}" ;;
     --min-peers=*) MIN_PEERS="${arg#*=}" ;;
+    --stats-interval=*) STATS_INTERVAL_S="${arg#*=}" ;;
+    --trace-out=*) TRACE_OUT="${arg#*=}" ;;
+    --slow-request-ms=*) SLOW_REQUEST_MS="${arg#*=}" ;;
     --keep-logs) KEEP_LOGS=1 ;;
     *) usage ;;
   esac
@@ -124,10 +136,26 @@ for ((i = 0; i < WORLD; ++i)); do
       --population="$POPULATION" --localities="$LOCALITIES" \
       --websites="$WEBSITES" --objects="$OBJECTS" --seed="$SEED" \
       --minutes="$MINUTES" --time-scale="$TIME_SCALE" \
-      --stats-out="$WORKDIR/node_$i.json" --quiet \
+      --stats-out="$WORKDIR/node_$i.json" \
+      --stats-interval="$STATS_INTERVAL_S" \
+      --trace-out="$WORKDIR/trace_$i.json" \
+      --slow-request-ms="$SLOW_REQUEST_MS" --quiet \
       >"$WORKDIR/node_$i.log" 2>&1 &
   PIDS+=($!)
 done
+
+# Minimal HTTP GET without assuming curl exists on the runner.
+scrape() {  # scrape <host:port> <path> <outfile>
+  python3 - "$1" "$2" "$3" <<'EOF'
+import sys
+import urllib.request
+target, path, out = sys.argv[1:4]
+with urllib.request.urlopen("http://%s%s" % (target, path), timeout=5) as r:
+    body = r.read()
+with open(out, "wb") as f:
+    f.write(body)
+EOF
+}
 
 # Readiness: every rank logs its gateway port once the bind succeeded.
 for ((i = 0; i < WORLD; ++i)); do
@@ -149,11 +177,28 @@ done
 # measuring: at time-scale X, S wall seconds are S*X simulated seconds.
 sleep "$JOIN_WAIT_S"
 
+# Admin plane, scrape 1 of 2: /metrics and /healthz on every rank's
+# gateway port before the load hits (counters near zero).
+SCRAPE_RC=0
+for ((i = 0; i < WORLD; ++i)); do
+  target="127.0.0.1:$((BASE_PORT + 100 + i))"
+  scrape "$target" /healthz "$WORKDIR/healthz_$i.txt" || SCRAPE_RC=1
+  scrape "$target" /metrics "$WORKDIR/metrics_${i}_1.txt" || SCRAPE_RC=1
+done
+
 "$LOADGEN_BIN" --targets="$GATEWAYS" --connections="$CONNECTIONS" \
     --duration-s="$DURATION_S" --warmup-s="$WARMUP_S" --qps="$QPS" \
     --websites="$WEBSITES" --objects="$OBJECTS" --zipf="$ZIPF" \
     --seed="$SEED" --json-out="$WORKDIR/loadgen.json"
 LOADGEN_RC=$?
+
+# Scrape 2 of 2, after the load: counters must have moved monotonically;
+# /statusz is kept as a run artifact.
+for ((i = 0; i < WORLD; ++i)); do
+  target="127.0.0.1:$((BASE_PORT + 100 + i))"
+  scrape "$target" /metrics "$WORKDIR/metrics_${i}_2.txt" || SCRAPE_RC=1
+  scrape "$target" /statusz "$WORKDIR/statusz_$i.json" || SCRAPE_RC=1
+done
 
 # The nodes exit on their own when the simulated duration is up; their
 # exit code asserts zero frame-decode errors.
@@ -170,6 +215,38 @@ PIDS=()
 if [ "$LOADGEN_RC" != 0 ] || [ "$NODE_RC" != 0 ]; then
   exit 1
 fi
+if [ "$SCRAPE_RC" != 0 ]; then
+  echo "FAIL: admin endpoint scrape failed" >&2
+  exit 1
+fi
+
+# Merge the per-rank Chrome traces into one cluster-wide trace; with
+# --check, require at least one query's spans to stitch across ranks.
+TRACES=()
+for ((i = 0; i < WORLD; ++i)); do
+  TRACES+=("$WORKDIR/trace_$i.json")
+done
+MERGED_TRACE="${TRACE_OUT:-$WORKDIR/cluster_trace.json}"
+MERGE_TRACE_ARGS=(--out "$MERGED_TRACE")
+if [ "$CHECK" = 1 ] && [ "$WORLD" -gt 1 ]; then
+  MERGE_TRACE_ARGS+=(--require-cross-rank)
+fi
+python3 "$REPO_ROOT/scripts/merge_traces.py" "${MERGE_TRACE_ARGS[@]}" \
+    "${TRACES[@]}" || exit 1
+
+if [ "$CHECK" = 1 ]; then
+  for ((i = 0; i < WORLD; ++i)); do
+    if ! grep -q "^ok$" "$WORKDIR/healthz_$i.txt"; then
+      echo "FAIL: rank $i /healthz did not answer ok" >&2
+      exit 1
+    fi
+    python3 "$REPO_ROOT/scripts/check_obs_output.py" \
+        --metrics "$WORKDIR/metrics_${i}_1.txt" \
+        "$WORKDIR/metrics_${i}_2.txt" || exit 1
+  done
+  python3 "$REPO_ROOT/scripts/check_obs_output.py" \
+      --trace "$MERGED_TRACE" || exit 1
+fi
 
 NODE_STATS=()
 for ((i = 0; i < WORLD; ++i)); do
@@ -179,6 +256,9 @@ MERGE_ARGS=(--nodes "${NODE_STATS[@]}" --loadgen "$WORKDIR/loadgen.json"
             --out "$OUT")
 if [ "$CHECK" = 1 ]; then
   MERGE_ARGS+=(--check --min-qps "$MIN_QPS" --min-peers "$MIN_PEERS")
+  if [ "${STATS_INTERVAL_S%.*}" != 0 ] && [ -n "$STATS_INTERVAL_S" ]; then
+    MERGE_ARGS+=(--min-intervals 1)
+  fi
 fi
 python3 "$REPO_ROOT/scripts/merge_live_bench.py" "${MERGE_ARGS[@]}" || exit 1
 

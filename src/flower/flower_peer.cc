@@ -224,6 +224,8 @@ void FlowerPeer::IssueQuery() {
         ctx_.trace->BeginQuery(self_, q.object.website, q.object.object, q.t0,
                                /*from_new_client=*/role_ ==
                                    FlowerRole::kClient);
+    q.tctx.trace_id = ctx_.trace->DistributedIdOf(q.trace_id);
+    q.tctx.span_id = q.tctx.trace_id;
   }
   switch (role_) {
     case FlowerRole::kClient:
@@ -266,6 +268,8 @@ void FlowerPeer::QueryExternal(const ObjectId& object,
     q.trace_id = ctx_.trace->BeginQuery(self_, object.website, object.object,
                                         q.t0, /*from_new_client=*/role_ ==
                                             FlowerRole::kClient);
+    q.tctx.trace_id = ctx_.trace->DistributedIdOf(q.trace_id);
+    q.tctx.span_id = q.tctx.trace_id;
   }
   switch (role_) {
     case FlowerRole::kClient:
@@ -282,6 +286,9 @@ void FlowerPeer::QueryExternal(const ObjectId& object,
 }
 
 void FlowerPeer::ResolveViaDRing(QueryState q) {
+  // Messages issued below (Chord resolve steps, retries from timeout
+  // callbacks) carry the query's distributed trace context.
+  NetworkTraceScope trace_scope(ctx_.network, q.tctx);
   ++q.dring_attempts;
   PeerId bootstrap = PickBootstrap();
   if (bootstrap == kInvalidPeer) {
@@ -324,6 +331,7 @@ void FlowerPeer::ResolveViaDRing(QueryState q) {
 }
 
 void FlowerPeer::SendDirQuery(PeerId dir, QueryState q, bool wants_join) {
+  NetworkTraceScope trace_scope(ctx_.network, q.tctx);
   auto msg = std::make_unique<FlowerDirQueryMsg>();
   msg->website = website_;
   msg->locality = locality_;
@@ -440,6 +448,7 @@ void FlowerPeer::TrySummaryCandidates(QueryState q,
     return;
   }
   PeerId provider = candidates[index];
+  NetworkTraceScope trace_scope(ctx_.network, q.tctx);
   auto msg = std::make_unique<FlowerFetchMsg>();
   msg->object = q.object;
   SimTime span_start = ctx_.network->sim()->now();
@@ -478,6 +487,7 @@ void FlowerPeer::AskOwnDirectory(QueryState q) {
 }
 
 void FlowerPeer::ResolveAsDirectory(QueryState q) {
+  NetworkTraceScope trace_scope(ctx_.network, q.tctx);
   std::optional<PeerId> provider = FindProviderLocally(q.object, self_);
   if (provider.has_value() && *provider != self_) {
     FetchFrom(*provider, q);
@@ -517,6 +527,7 @@ void FlowerPeer::FetchFrom(PeerId provider, QueryState q) {
     ResolveAtOrigin(q);
     return;
   }
+  NetworkTraceScope trace_scope(ctx_.network, q.tctx);
   auto msg = std::make_unique<FlowerFetchMsg>();
   msg->object = q.object;
   SimTime span_start = ctx_.network->sim()->now();
@@ -1219,7 +1230,35 @@ void FlowerPeer::OnDirHandoff(const Message& msg) {
 
 // --- Dispatch ----------------------------------------------------------------
 
+namespace {
+
+/// Static label for a remote-trace instant: which protocol family's
+/// message this peer handled on behalf of a foreign-rank query.
+const char* HandleEventName(const Message& msg) {
+  if (msg.type == kTransportNack) return "handle_nack";
+  if (msg.type >= kChordMessageBase && msg.type < kChordMessageBase + 100) {
+    return msg.is_response ? "handle_chord_resp" : "handle_chord";
+  }
+  if (msg.type >= kGossipMessageBase && msg.type < kGossipMessageBase + 100) {
+    return msg.is_response ? "handle_gossip_resp" : "handle_gossip";
+  }
+  if (msg.type >= kFlowerMessageBase && msg.type < kFlowerMessageBase + 100) {
+    return msg.is_response ? "handle_flower_resp" : "handle_flower";
+  }
+  return msg.is_response ? "handle_other_resp" : "handle_other";
+}
+
+}  // namespace
+
 void FlowerPeer::HandleMessage(MessagePtr msg) {
+  if (ctx_.trace != nullptr && msg->trace.active() &&
+      ctx_.trace->LocalIdOf(msg->trace.trace_id) == 0) {
+    // Work done here for a query that began on another rank: record an
+    // instant carrying the distributed trace id so the merged cluster
+    // trace shows this rank's participation.
+    ctx_.trace->AddRemoteSpan(msg->trace.trace_id, HandleEventName(*msg),
+                              ctx_.network->sim()->now(), self_, msg->src);
+  }
   if (resolver_.HandleMessage(msg)) return;
   if (chord_ != nullptr && chord_->HandleMessage(msg)) return;
   if (msg->is_response) {

@@ -173,6 +173,9 @@ class FlowerPeer : public SimNode {
     int dring_attempts = 0;
     int scan_hops = 0;
     uint64_t trace_id = 0;  // 0 => untraced (join-only, or tracing off)
+    /// Distributed trace context (cluster runs only): stamped onto every
+    /// message this query causes, so its spans stitch across ranks.
+    TraceContext tctx;
     /// Non-zero for externally submitted queries (QueryExternal): keys the
     /// completion callback, and suppresses the workload-pacing reschedule.
     uint64_t external_id = 0;

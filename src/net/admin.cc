@@ -1,0 +1,210 @@
+#include "net/admin.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flowercdn {
+
+bool AdminHandler::Handle(const std::string& target, Response* out) {
+  if (target == "/healthz") {
+    ++requests_;
+    out->body = "ok\n";
+    return true;
+  }
+  if (target == "/metrics") {
+    ++requests_;
+    if (!metrics_fn_) {
+      out->status = 404;
+      out->reason = "Not Found";
+      out->body = "metrics not wired\n";
+      return true;
+    }
+    out->content_type = "text/plain; version=0.0.4; charset=utf-8";
+    out->body = metrics_fn_();
+    return true;
+  }
+  if (target == "/statusz") {
+    ++requests_;
+    if (!statusz_fn_) {
+      out->status = 404;
+      out->reason = "Not Found";
+      out->body = "statusz not wired\n";
+      return true;
+    }
+    out->content_type = "application/json";
+    out->body = statusz_fn_();
+    return true;
+  }
+  return false;
+}
+
+AdminServer::AdminServer(EventLoop* loop, AdminHandler* handler,
+                         Options options)
+    : loop_(loop), handler_(handler), options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { CloseAll(); }
+
+void AdminServer::CloseAll() {
+  for (auto& [id, conn] : conns_) {
+    loop_->Remove(conn.fd);
+    ::close(conn.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool AdminServer::Listen() {
+  FLOWERCDN_CHECK(listen_fd_ < 0) << "already listening";
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FLOWERCDN_CHECK(fd >= 0) << "socket(): " << strerror(errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  FLOWERCDN_CHECK(flags >= 0 &&
+                  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(): " << strerror(errno);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FLOWERCDN_LOG(kWarning) << "admin: bind(" << options_.host << ":"
+                            << options_.port << "): " << strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  FLOWERCDN_CHECK(::listen(fd, 64) == 0) << "listen(): " << strerror(errno);
+  socklen_t len = sizeof(addr);
+  FLOWERCDN_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                                &len) == 0)
+      << "getsockname(): " << strerror(errno);
+  port_ = ntohs(addr.sin_port);
+
+  listen_fd_ = fd;
+  loop_->Add(fd, EventLoop::kReadable, [this](uint32_t) { AcceptReady(); });
+  return true;
+}
+
+void AdminServer::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      FLOWERCDN_LOG(kWarning) << "admin: accept(): " << strerror(errno);
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    loop_->Add(fd, EventLoop::kReadable, [this, id](uint32_t events) {
+      if ((events & EventLoop::kWritable) != 0) TryFlush(id);
+      if ((events & EventLoop::kReadable) != 0) OnReadable(id);
+    });
+  }
+}
+
+void AdminServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_->Remove(it->second.fd);
+  ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void AdminServer::OnReadable(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConn(id);
+      return;
+    }
+    if (n == 0) {
+      CloseConn(id);
+      return;
+    }
+    conn.parser.Append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+
+  HttpRequest req;
+  while (!conn.close_after_write && conn.parser.Next(&req)) {
+    AdminHandler::Response resp;
+    if (req.method != "GET") {
+      resp.status = 405;
+      resp.reason = "Method Not Allowed";
+      resp.body = "GET only\n";
+    } else if (!handler_->Handle(req.target, &resp)) {
+      resp.status = 404;
+      resp.reason = "Not Found";
+      resp.body = "unknown admin path\n";
+    }
+    conn.out.append(BuildHttpResponse(
+        resp.status, resp.reason, {{"Content-Type", resp.content_type}},
+        resp.body));
+  }
+  if (conn.parser.failed()) conn.close_after_write = true;
+  TryFlush(id);
+}
+
+void AdminServer::TryFlush(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (conn.out_offset < conn.out.size()) {
+    ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                        conn.out.size() - conn.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConn(id);
+      return;
+    }
+    conn.out_offset += static_cast<size_t>(n);
+  }
+  if (conn.out_offset >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.close_after_write) {
+      CloseConn(id);
+      return;
+    }
+    if (conn.want_writable) {
+      conn.want_writable = false;
+      loop_->Update(conn.fd, EventLoop::kReadable);
+    }
+    return;
+  }
+  if (!conn.want_writable) {
+    conn.want_writable = true;
+    loop_->Update(conn.fd, EventLoop::kReadable | EventLoop::kWritable);
+  }
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,103 @@
+#ifndef FLOWERCDN_NET_ADMIN_H_
+#define FLOWERCDN_NET_ADMIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+#include "net/http.h"
+
+namespace flowercdn {
+
+/// The node's admin surface: three GET endpoints backed by callbacks the
+/// NodeHost installs.
+///
+///     /metrics  Prometheus text exposition (obs StatsRegistry counters
+///               and gauges plus the runtime latency summaries)
+///     /statusz  JSON status snapshot (rank, hosted peers, sim time,
+///               tcp/gateway/network counters, event-loop health)
+///     /healthz  liveness probe, always "ok"
+///
+/// Handler only — transport-agnostic. The Gateway intercepts these paths
+/// on its public port; AdminServer below serves them on a dedicated
+/// `--admin-port` when the operator wants the admin plane off the data
+/// path.
+class AdminHandler {
+ public:
+  using TextFn = std::function<std::string()>;
+
+  /// Renders the Prometheus exposition. Unset => /metrics is 404.
+  void set_metrics_fn(TextFn fn) { metrics_fn_ = std::move(fn); }
+  /// Renders the /statusz JSON document. Unset => /statusz is 404.
+  void set_statusz_fn(TextFn fn) { statusz_fn_ = std::move(fn); }
+
+  struct Response {
+    int status = 200;
+    const char* reason = "OK";
+    const char* content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// True when `target` names an admin endpoint (the response is filled
+  /// in); false for every other path — the caller serves those itself.
+  bool Handle(const std::string& target, Response* out);
+
+  uint64_t requests() const { return requests_; }
+
+ private:
+  TextFn metrics_fn_;
+  TextFn statusz_fn_;
+  uint64_t requests_ = 0;
+};
+
+/// Dedicated admin listener: a minimal keep-alive HTTP server that serves
+/// only AdminHandler paths (anything else is 404). Synchronous — every
+/// response is rendered inside the read callback — so it needs none of the
+/// Gateway's busy/queue machinery.
+class AdminServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = kernel-picked (see port())
+    size_t max_connections = 64;
+  };
+
+  AdminServer(EventLoop* loop, AdminHandler* handler, Options options);
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+  ~AdminServer();
+
+  bool Listen();
+  uint16_t port() const { return port_; }
+  void CloseAll();
+  size_t open_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    HttpRequestParser parser;
+    std::string out;
+    size_t out_offset = 0;
+    bool want_writable = false;
+    bool close_after_write = false;
+  };
+
+  void AcceptReady();
+  void OnReadable(uint64_t id);
+  void TryFlush(uint64_t id);
+  void CloseConn(uint64_t id);
+
+  EventLoop* loop_;
+  AdminHandler* handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, Conn> conns_;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_NET_ADMIN_H_

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/clock.h"
 #include "util/logging.h"
 
 namespace flowercdn {
@@ -78,10 +79,14 @@ void EventLoop::Remove(int fd) {
 int EventLoop::PollOnce(int timeout_ms) {
   epoll_event ready[64];
   int n;
+  ++polls_;
+  int64_t wait_start = MonotonicMicros();
   do {
     n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
   } while (n < 0 && errno == EINTR);
   FLOWERCDN_CHECK(n >= 0) << "epoll_wait(): " << strerror(errno);
+  poll_wait_.Record(
+      static_cast<uint64_t>(MonotonicMicros() - wait_start));
 
   // Snapshot (fd, generation) first: a callback may Remove any fd in this
   // batch (or Remove+Add, recycling the number with a new generation), and
@@ -110,7 +115,10 @@ int EventLoop::PollOnce(int timeout_ms) {
     // closure's captures mid-call. Restore it afterwards only if the same
     // registration (fd + generation) still exists.
     FdCallback cb = std::move(it->second.cb);
+    int64_t cb_start = MonotonicMicros();
     cb(p.events);
+    callback_duration_.Record(
+        static_cast<uint64_t>(MonotonicMicros() - cb_start));
     it = fds_.find(p.fd);
     if (it != fds_.end() && it->second.generation == p.generation) {
       it->second.cb = std::move(cb);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/latency_histogram.h"
 #include "util/function.h"
 
 namespace flowercdn {
@@ -52,6 +53,19 @@ class EventLoop {
   /// number of callbacks dispatched.
   int PollOnce(int timeout_ms);
 
+  // --- Health instrumentation ----------------------------------------------
+  // Always-on wall-clock histograms (two clock_gettime calls per poll and
+  // per callback — noise next to epoll_wait itself). A loop whose callback
+  // p99 grows is a loop that can no longer keep its time_scale promise.
+
+  /// Time spent blocked inside epoll_wait, per PollOnce call.
+  const LatencyHistogram& poll_wait() const { return poll_wait_; }
+  /// Wall duration of each dispatched fd callback.
+  const LatencyHistogram& callback_duration() const {
+    return callback_duration_;
+  }
+  uint64_t polls() const { return polls_; }
+
  private:
   struct Entry {
     FdCallback cb;
@@ -61,6 +75,9 @@ class EventLoop {
 
   int epoll_fd_ = -1;
   uint64_t next_generation_ = 1;
+  uint64_t polls_ = 0;
+  LatencyHistogram poll_wait_;
+  LatencyHistogram callback_duration_;
   std::unordered_map<int, Entry> fds_;
 };
 

@@ -11,6 +11,8 @@
 
 #include <utility>
 
+#include "net/admin.h"
+#include "net/clock.h"
 #include "obs/stats.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -170,6 +172,20 @@ void Gateway::MaybeServeNext(uint64_t id) {
 }
 
 void Gateway::ServeRequest(uint64_t id, const HttpRequest& req) {
+  // The admin plane rides the public port (no --admin-port configured):
+  // intercept its paths before they are parsed as content targets. Admin
+  // traffic is counted on its own, not as gateway requests.
+  if (options_.admin != nullptr) {
+    AdminHandler::Response admin_resp;
+    if (options_.admin->Handle(req.target, &admin_resp)) {
+      if (stats_ != nullptr) stats_->Add("net.admin.requests");
+      Respond(id, admin_resp.status, admin_resp.reason,
+              {{"Content-Type", admin_resp.content_type}}, admin_resp.body,
+              /*close_after=*/false);
+      return;
+    }
+  }
+
   ++stats_counters_.requests;
   if (stats_ != nullptr) stats_->Add("net.gateway.requests");
 
@@ -207,7 +223,9 @@ void Gateway::ServeRequest(uint64_t id, const HttpRequest& req) {
     return;
   }
 
-  conns_[id].busy = true;
+  Conn& conn = conns_[id];
+  conn.busy = true;
+  conn.serve_start_us = MonotonicMicros();
   entry->QueryExternal(object, [this, id, object](bool hit,
                                                   ServedSource source,
                                                   double lookup_ms) {
@@ -222,20 +240,38 @@ void Gateway::OnQueryDone(uint64_t id, const ObjectId& object, bool hit,
     case ServedSource::kPetal:
       ++stats_counters_.served_petal;
       stats_counters_.body_bytes_petal += body_bytes;
+      if (stats_ != nullptr) stats_->Add("net.gateway.served_petal");
       break;
     case ServedSource::kDirectory:
       ++stats_counters_.served_directory;
       stats_counters_.body_bytes_directory += body_bytes;
+      if (stats_ != nullptr) stats_->Add("net.gateway.served_directory");
       break;
     case ServedSource::kOrigin:
       ++stats_counters_.served_origin;
       stats_counters_.body_bytes_origin += body_bytes;
+      if (stats_ != nullptr) stats_->Add("net.gateway.served_origin");
       break;
   }
 
   auto it = conns_.find(id);
   if (it == conns_.end()) return;  // client went away mid-query
   it->second.busy = false;
+
+  int64_t wall_us = MonotonicMicros() - it->second.serve_start_us;
+  if (wall_us < 0) wall_us = 0;
+  request_latency_.Record(static_cast<uint64_t>(wall_us));
+  double wall_ms = static_cast<double>(wall_us) / 1000.0;
+  if (options_.slow_request_ms > 0 && wall_ms >= options_.slow_request_ms) {
+    ++slow_requests_;
+    if (stats_ != nullptr) stats_->Add("net.gateway.slow_requests");
+    FLOWERCDN_LOG(kWarning) << "gateway: slow request GET /" << object.website
+                            << "/" << object.object << ": " << wall_ms
+                            << " ms wall, source="
+                            << ServedSourceName(source)
+                            << " hit=" << (hit ? 1 : 0)
+                            << " lookup_ms=" << lookup_ms;
+  }
 
   char lookup[32];
   snprintf(lookup, sizeof(lookup), "%.1f", lookup_ms);
@@ -257,6 +293,7 @@ void Gateway::Respond(uint64_t id, int status, const char* reason,
   conn.out.append(BuildHttpResponse(status, reason, headers, body));
   conn.close_after_write = conn.close_after_write || close_after;
   ++stats_counters_.responses;
+  if (stats_ != nullptr) stats_->Add("net.gateway.responses");
   TryFlush(id);
 }
 

@@ -10,11 +10,13 @@
 #include "flower/flower_peer.h"
 #include "net/event_loop.h"
 #include "net/http.h"
+#include "obs/latency_histogram.h"
 #include "storage/object_id.h"
 #include "storage/website.h"
 
 namespace flowercdn {
 
+class AdminHandler;
 class StatsRegistry;
 
 /// HTTP/1.1 front door of a cluster node: `GET /<website>/<object>` is
@@ -37,6 +39,12 @@ class Gateway {
     std::string host = "127.0.0.1";
     uint16_t port = 0;  // 0 = kernel-picked (see port())
     size_t max_connections = 4096;
+    /// Non-null: /metrics, /statusz and /healthz on this port are answered
+    /// by the admin handler instead of the content path (non-owning).
+    AdminHandler* admin = nullptr;
+    /// > 0: any request whose wall-clock service time reaches this many
+    /// milliseconds is logged with its hit source and lookup latency.
+    double slow_request_ms = 0;
   };
 
   /// Picks a hosted entry peer interested in `website` (salt spreads the
@@ -73,6 +81,10 @@ class Gateway {
   };
   const Stats& stats() const { return stats_counters_; }
   size_t open_connections() const { return conns_.size(); }
+  /// Wall-clock latency of every query-served request (request parsed →
+  /// response queued), including the event-loop and overlay time.
+  const LatencyHistogram& request_latency() const { return request_latency_; }
+  uint64_t slow_requests() const { return slow_requests_; }
 
  private:
   struct Conn {
@@ -83,6 +95,7 @@ class Gateway {
     bool busy = false;      // a query is in flight for this connection
     bool want_writable = false;
     bool close_after_write = false;
+    int64_t serve_start_us = 0;  // wall clock when the query was submitted
   };
 
   void AcceptReady();
@@ -108,6 +121,8 @@ class Gateway {
   uint64_t next_conn_id_ = 1;
   std::unordered_map<uint64_t, Conn> conns_;
   Stats stats_counters_;
+  LatencyHistogram request_latency_;
+  uint64_t slow_requests_ = 0;
 };
 
 }  // namespace flowercdn

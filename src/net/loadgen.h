@@ -9,41 +9,10 @@
 #include "net/event_loop.h"
 #include "net/http.h"
 #include "net/tcp_transport.h"
+#include "obs/latency_histogram.h"
 #include "util/random.h"
 
 namespace flowercdn {
-
-/// HdrHistogram-style log-linear latency recorder: 32 linear sub-buckets
-/// per power-of-two decade of microseconds. Constant memory, ~3% relative
-/// quantile error, no per-sample allocation — what a load generator needs
-/// at tens of thousands of recordings per second.
-class LatencyHistogram {
- public:
-  static constexpr int kDecades = 28;     // up to ~2^27 us =~ 134 s
-  static constexpr int kSubBuckets = 32;
-
-  void Record(uint64_t micros);
-  void Merge(const LatencyHistogram& other);
-  void Reset();
-
-  uint64_t count() const { return count_; }
-  uint64_t max_micros() const { return max_; }
-  double mean_micros() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
-                                   static_cast<double>(count_);
-  }
-  /// Quantile in microseconds (q in [0,1]); 0 when empty.
-  uint64_t QuantileMicros(double q) const;
-
- private:
-  static size_t BucketOf(uint64_t micros);
-  static uint64_t BucketUpperBound(size_t bucket);
-
-  uint64_t buckets_[kDecades * kSubBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t max_ = 0;
-};
 
 /// Zipf-workload HTTP load generator for the cluster gateway. Two drive
 /// modes:

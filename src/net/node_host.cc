@@ -1,15 +1,47 @@
 #include "net/node_host.h"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <utility>
 
 #include "net/clock.h"
+#include "obs/expose.h"
 #include "obs/stats.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace flowercdn {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n <= 0) return;
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    out->append(buf, static_cast<size_t>(n));
+    return;
+  }
+  std::string big(static_cast<size_t>(n) + 1, '\0');
+  va_start(args, fmt);
+  vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  big.resize(static_cast<size_t>(n));
+  out->append(big);
+}
+
+double QuantileMs(const LatencyHistogram& hist, double q) {
+  return static_cast<double>(hist.QuantileMicros(q)) / 1000.0;
+}
+
+}  // namespace
 
 NodeHost::NodeHost(ExperimentEnv* env, const FlowerParams& params,
                    Options options)
@@ -194,22 +226,78 @@ bool NodeHost::Setup() {
     env_->sim().Schedule(at, [this, peer]() { LaunchClient(peer); });
   }
 
+  // The admin plane: wired into the gateway's port (path interception)
+  // and, when requested, onto its own listener.
+  admin_handler_.set_metrics_fn([this] { return RenderMetrics(); });
+  admin_handler_.set_statusz_fn(
+      [this] { return StatusJson(RunWallSeconds()); });
+
   if (options_.enable_gateway) {
+    Gateway::Options gw_options = options_.gateway;
+    gw_options.admin = &admin_handler_;
     gateway_ = std::make_unique<Gateway>(
         &loop_, &env_->catalog(),
         [this](WebsiteId ws, uint64_t salt) {
           return PeerForWebsite(ws, salt);
         },
-        options_.gateway, &env_->stats());
+        std::move(gw_options), &env_->stats());
     if (!gateway_->Listen()) return false;
+  }
+  if (options_.enable_admin) {
+    admin_ = std::make_unique<AdminServer>(&loop_, &admin_handler_,
+                                           options_.admin);
+    if (!admin_->Listen()) return false;
   }
   return true;
 }
 
+void NodeHost::CheckStopFlag() {
+  if (options_.stop_flag != nullptr && *options_.stop_flag != 0) stop_ = true;
+}
+
+double NodeHost::RunWallSeconds() const {
+  if (run_wall0_ms_ < 0) return 0;
+  return static_cast<double>(MonotonicMillis() - run_wall0_ms_) / 1000.0;
+}
+
+void NodeHost::MaybeSampleInterval(double wall_s, bool force) {
+  if (options_.stats_interval_s <= 0) return;
+  double dur = wall_s - last_sample_wall_s_;
+  if (!force && dur < options_.stats_interval_s) return;
+  if (force && dur <= 0) return;
+  last_sample_wall_s_ = wall_s;
+
+  const Gateway::Stats cur =
+      gateway_ != nullptr ? gateway_->stats() : Gateway::Stats{};
+  const LatencyHistogram cur_latency =
+      gateway_ != nullptr ? gateway_->request_latency() : LatencyHistogram{};
+  LatencyHistogram delta = cur_latency.DeltaSince(prev_request_latency_);
+
+  IntervalSample s;
+  s.t_s = wall_s;
+  s.sim_ms = static_cast<long long>(env_->sim().now());
+  s.requests = cur.requests - prev_gateway_stats_.requests;
+  s.responses = cur.responses - prev_gateway_stats_.responses;
+  s.qps = dur > 0 ? static_cast<double>(s.responses) / dur : 0;
+  s.p50_ms = QuantileMs(delta, 0.5);
+  s.p99_ms = QuantileMs(delta, 0.99);
+  s.served_petal = cur.served_petal - prev_gateway_stats_.served_petal;
+  s.served_directory =
+      cur.served_directory - prev_gateway_stats_.served_directory;
+  s.served_origin = cur.served_origin - prev_gateway_stats_.served_origin;
+  intervals_.push_back(s);
+
+  prev_gateway_stats_ = cur;
+  prev_request_latency_ = cur_latency;
+}
+
 void NodeHost::RunPaced(SimDuration sim_duration) {
   const int64_t wall0 = MonotonicMillis();
+  run_wall0_ms_ = wall0;
   int64_t last_gauges_ms = 0;
   while (!stop_) {
+    CheckStopFlag();
+    if (stop_) break;
     int64_t wall = MonotonicMillis() - wall0;
     SimTime target = static_cast<SimTime>(static_cast<double>(wall) *
                                           options_.time_scale);
@@ -235,19 +323,25 @@ void NodeHost::RunPaced(SimDuration sim_duration) {
       last_gauges_ms = wall;
       ExportGauges();
     }
+    MaybeSampleInterval(static_cast<double>(wall) / 1000.0);
   }
+  MaybeSampleInterval(RunWallSeconds(), /*force=*/true);
   ExportGauges();
 }
 
 void NodeHost::RunFast(SimDuration sim_duration, SimDuration chunk,
                        const std::function<void()>& on_chunk) {
   FLOWERCDN_CHECK(chunk > 0);
+  if (run_wall0_ms_ < 0) run_wall0_ms_ = MonotonicMillis();
   SimTime t = env_->sim().now();
   while (!stop_ && t < sim_duration) {
+    CheckStopFlag();
+    if (stop_) break;
     t = std::min<SimTime>(t + chunk, sim_duration);
     env_->sim().RunUntil(t);
     loop_.PollOnce(0);
     if (tcp_ != nullptr) tcp_->Tick();
+    MaybeSampleInterval(RunWallSeconds());
     if (on_chunk) on_chunk();
   }
   ExportGauges();
@@ -267,13 +361,7 @@ void NodeHost::ExportGauges() {
   }
 }
 
-bool NodeHost::WriteStatsJson(const std::string& path,
-                              double wall_seconds) const {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    FLOWERCDN_LOG(kWarning) << "cannot write " << path;
-    return false;
-  }
+std::string NodeHost::StatusJson(double wall_seconds) const {
   const Network& network = env_->network();
   const Network::TrafficBreakdown& traffic = network.traffic();
 
@@ -281,105 +369,193 @@ bool NodeHost::WriteStatsJson(const std::string& path,
   if (tcp_ != nullptr) transport = tcp_->name();
   if (udp_ != nullptr) transport = udp_->name();
 
-  std::fprintf(f,
-               "{\n"
-               "  \"rank\": %d,\n"
-               "  \"world\": %zu,\n"
-               "  \"transport\": \"%s\",\n"
-               "  \"hosted_peers\": %zu,\n"
-               "  \"hosted_directories\": %zu,\n"
-               "  \"sim_time_ms\": %lld,\n"
-               "  \"wall_seconds\": %.3f,\n"
-               "  \"time_scale\": %.3f,\n",
-               options_.rank, world(), transport, sessions_.size(),
-               hosted_directories(),
-               static_cast<long long>(env_->sim().now()), wall_seconds,
-               options_.time_scale);
-  std::fprintf(
-      f,
-      "  \"network\": {\n"
-      "    \"messages_sent\": %llu,\n"
-      "    \"messages_delivered\": %llu,\n"
-      "    \"messages_dropped\": %llu,\n"
-      "    \"bytes_sent\": %llu,\n"
-      "    \"transport_drop_messages\": %llu,\n"
-      "    \"transport_drop_bytes\": %llu\n"
-      "  },\n",
-      static_cast<unsigned long long>(network.messages_sent()),
-      static_cast<unsigned long long>(network.messages_delivered()),
-      static_cast<unsigned long long>(network.messages_dropped()),
-      static_cast<unsigned long long>(network.bytes_sent()),
-      static_cast<unsigned long long>(traffic.transport_drop.messages),
-      static_cast<unsigned long long>(traffic.transport_drop.bytes));
+  std::string out;
+  out.reserve(2048 + intervals_.size() * 160);
+  AppendF(&out,
+          "{\n"
+          "  \"rank\": %d,\n"
+          "  \"world\": %zu,\n"
+          "  \"transport\": \"%s\",\n"
+          "  \"hosted_peers\": %zu,\n"
+          "  \"hosted_directories\": %zu,\n"
+          "  \"sim_time_ms\": %lld,\n"
+          "  \"wall_seconds\": %.3f,\n"
+          "  \"time_scale\": %.3f,\n",
+          options_.rank, world(), transport, sessions_.size(),
+          hosted_directories(), static_cast<long long>(env_->sim().now()),
+          wall_seconds, options_.time_scale);
+  AppendF(&out,
+          "  \"network\": {\n"
+          "    \"messages_sent\": %llu,\n"
+          "    \"messages_delivered\": %llu,\n"
+          "    \"messages_dropped\": %llu,\n"
+          "    \"bytes_sent\": %llu,\n"
+          "    \"transport_drop_messages\": %llu,\n"
+          "    \"transport_drop_bytes\": %llu\n"
+          "  },\n",
+          static_cast<unsigned long long>(network.messages_sent()),
+          static_cast<unsigned long long>(network.messages_delivered()),
+          static_cast<unsigned long long>(network.messages_dropped()),
+          static_cast<unsigned long long>(network.bytes_sent()),
+          static_cast<unsigned long long>(traffic.transport_drop.messages),
+          static_cast<unsigned long long>(traffic.transport_drop.bytes));
   if (tcp_ != nullptr) {
-    std::fprintf(
-        f,
-        "  \"tcp\": {\n"
-        "    \"frames_sent\": %llu,\n"
-        "    \"frames_received\": %llu,\n"
-        "    \"bytes_sent\": %llu,\n"
-        "    \"bytes_received\": %llu,\n"
-        "    \"frames_dropped\": %llu,\n"
-        "    \"decode_errors\": %llu,\n"
-        "    \"reconnects\": %llu,\n"
-        "    \"connect_failures\": %llu,\n"
-        "    \"backpressure_events\": %llu,\n"
-        "    \"peak_queued_bytes\": %zu,\n"
-        "    \"accepted_evicted\": %llu\n"
-        "  },\n",
-        static_cast<unsigned long long>(tcp_->frames_sent()),
-        static_cast<unsigned long long>(tcp_->frames_received()),
-        static_cast<unsigned long long>(tcp_->bytes_sent()),
-        static_cast<unsigned long long>(tcp_->bytes_received()),
-        static_cast<unsigned long long>(tcp_->frames_dropped()),
-        static_cast<unsigned long long>(tcp_->decode_errors()),
-        static_cast<unsigned long long>(tcp_->reconnects()),
-        static_cast<unsigned long long>(tcp_->connect_failures()),
-        static_cast<unsigned long long>(tcp_->backpressure_events()),
-        tcp_->peak_queued_bytes(),
-        static_cast<unsigned long long>(tcp_->accepted_evicted()));
+    AppendF(&out,
+            "  \"tcp\": {\n"
+            "    \"frames_sent\": %llu,\n"
+            "    \"frames_received\": %llu,\n"
+            "    \"bytes_sent\": %llu,\n"
+            "    \"bytes_received\": %llu,\n"
+            "    \"frames_dropped\": %llu,\n"
+            "    \"decode_errors\": %llu,\n"
+            "    \"reconnects\": %llu,\n"
+            "    \"connect_failures\": %llu,\n"
+            "    \"backpressure_events\": %llu,\n"
+            "    \"peak_queued_bytes\": %zu,\n"
+            "    \"accepted_evicted\": %llu\n"
+            "  },\n",
+            static_cast<unsigned long long>(tcp_->frames_sent()),
+            static_cast<unsigned long long>(tcp_->frames_received()),
+            static_cast<unsigned long long>(tcp_->bytes_sent()),
+            static_cast<unsigned long long>(tcp_->bytes_received()),
+            static_cast<unsigned long long>(tcp_->frames_dropped()),
+            static_cast<unsigned long long>(tcp_->decode_errors()),
+            static_cast<unsigned long long>(tcp_->reconnects()),
+            static_cast<unsigned long long>(tcp_->connect_failures()),
+            static_cast<unsigned long long>(tcp_->backpressure_events()),
+            tcp_->peak_queued_bytes(),
+            static_cast<unsigned long long>(tcp_->accepted_evicted()));
   }
   if (udp_ != nullptr) {
-    std::fprintf(
-        f,
-        "  \"udp\": {\n"
-        "    \"datagrams_sent\": %llu,\n"
-        "    \"datagrams_received\": %llu,\n"
-        "    \"datagrams_dropped\": %llu,\n"
-        "    \"socket_bytes_sent\": %llu\n"
-        "  },\n",
-        static_cast<unsigned long long>(udp_->datagrams_sent()),
-        static_cast<unsigned long long>(udp_->datagrams_received()),
-        static_cast<unsigned long long>(udp_->datagrams_dropped()),
-        static_cast<unsigned long long>(udp_->socket_bytes_sent()));
+    AppendF(&out,
+            "  \"udp\": {\n"
+            "    \"datagrams_sent\": %llu,\n"
+            "    \"datagrams_received\": %llu,\n"
+            "    \"datagrams_dropped\": %llu,\n"
+            "    \"socket_bytes_sent\": %llu\n"
+            "  },\n",
+            static_cast<unsigned long long>(udp_->datagrams_sent()),
+            static_cast<unsigned long long>(udp_->datagrams_received()),
+            static_cast<unsigned long long>(udp_->datagrams_dropped()),
+            static_cast<unsigned long long>(udp_->socket_bytes_sent()));
   }
   const Gateway::Stats gw =
       gateway_ != nullptr ? gateway_->stats() : Gateway::Stats{};
-  std::fprintf(
-      f,
-      "  \"gateway\": {\n"
-      "    \"requests\": %llu,\n"
-      "    \"responses\": %llu,\n"
-      "    \"bad_requests\": %llu,\n"
-      "    \"unavailable\": %llu,\n"
-      "    \"served_petal\": %llu,\n"
-      "    \"served_directory\": %llu,\n"
-      "    \"served_origin\": %llu,\n"
-      "    \"body_bytes_petal\": %llu,\n"
-      "    \"body_bytes_directory\": %llu,\n"
-      "    \"body_bytes_origin\": %llu\n"
-      "  }\n"
-      "}\n",
-      static_cast<unsigned long long>(gw.requests),
-      static_cast<unsigned long long>(gw.responses),
-      static_cast<unsigned long long>(gw.bad_requests),
-      static_cast<unsigned long long>(gw.unavailable),
-      static_cast<unsigned long long>(gw.served_petal),
-      static_cast<unsigned long long>(gw.served_directory),
-      static_cast<unsigned long long>(gw.served_origin),
-      static_cast<unsigned long long>(gw.body_bytes_petal),
-      static_cast<unsigned long long>(gw.body_bytes_directory),
-      static_cast<unsigned long long>(gw.body_bytes_origin));
+  const LatencyHistogram gw_latency =
+      gateway_ != nullptr ? gateway_->request_latency() : LatencyHistogram{};
+  AppendF(&out,
+          "  \"gateway\": {\n"
+          "    \"requests\": %llu,\n"
+          "    \"responses\": %llu,\n"
+          "    \"bad_requests\": %llu,\n"
+          "    \"unavailable\": %llu,\n"
+          "    \"served_petal\": %llu,\n"
+          "    \"served_directory\": %llu,\n"
+          "    \"served_origin\": %llu,\n"
+          "    \"body_bytes_petal\": %llu,\n"
+          "    \"body_bytes_directory\": %llu,\n"
+          "    \"body_bytes_origin\": %llu,\n"
+          "    \"slow_requests\": %llu,\n"
+          "    \"latency_p50_ms\": %.3f,\n"
+          "    \"latency_p99_ms\": %.3f\n"
+          "  },\n",
+          static_cast<unsigned long long>(gw.requests),
+          static_cast<unsigned long long>(gw.responses),
+          static_cast<unsigned long long>(gw.bad_requests),
+          static_cast<unsigned long long>(gw.unavailable),
+          static_cast<unsigned long long>(gw.served_petal),
+          static_cast<unsigned long long>(gw.served_directory),
+          static_cast<unsigned long long>(gw.served_origin),
+          static_cast<unsigned long long>(gw.body_bytes_petal),
+          static_cast<unsigned long long>(gw.body_bytes_directory),
+          static_cast<unsigned long long>(gw.body_bytes_origin),
+          static_cast<unsigned long long>(
+              gateway_ != nullptr ? gateway_->slow_requests() : 0),
+          QuantileMs(gw_latency, 0.5), QuantileMs(gw_latency, 0.99));
+  AppendF(&out,
+          "  \"event_loop\": {\n"
+          "    \"polls\": %llu,\n"
+          "    \"watched_fds\": %zu,\n"
+          "    \"poll_wait_p50_us\": %llu,\n"
+          "    \"poll_wait_p99_us\": %llu,\n"
+          "    \"callback_p50_us\": %llu,\n"
+          "    \"callback_p99_us\": %llu,\n"
+          "    \"callback_max_us\": %llu\n"
+          "  },\n",
+          static_cast<unsigned long long>(loop_.polls()),
+          loop_.watched_fds(),
+          static_cast<unsigned long long>(loop_.poll_wait().QuantileMicros(0.5)),
+          static_cast<unsigned long long>(
+              loop_.poll_wait().QuantileMicros(0.99)),
+          static_cast<unsigned long long>(
+              loop_.callback_duration().QuantileMicros(0.5)),
+          static_cast<unsigned long long>(
+              loop_.callback_duration().QuantileMicros(0.99)),
+          static_cast<unsigned long long>(
+              loop_.callback_duration().max_micros()));
+  AppendF(&out, "  \"admin_requests\": %llu,\n",
+          static_cast<unsigned long long>(admin_handler_.requests()));
+  AppendF(&out, "  \"stats_interval_s\": %.3f,\n",
+          options_.stats_interval_s);
+  out.append("  \"intervals\": [");
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    const IntervalSample& s = intervals_[i];
+    AppendF(&out,
+            "%s\n    {\"t_s\": %.3f, \"sim_ms\": %lld, "
+            "\"requests\": %llu, \"responses\": %llu, \"qps\": %.2f, "
+            "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+            "\"served_petal\": %llu, \"served_directory\": %llu, "
+            "\"served_origin\": %llu}",
+            i == 0 ? "" : ",", s.t_s, s.sim_ms,
+            static_cast<unsigned long long>(s.requests),
+            static_cast<unsigned long long>(s.responses), s.qps, s.p50_ms,
+            s.p99_ms, static_cast<unsigned long long>(s.served_petal),
+            static_cast<unsigned long long>(s.served_directory),
+            static_cast<unsigned long long>(s.served_origin));
+  }
+  out.append(intervals_.empty() ? "]\n" : "\n  ]\n");
+  out.append("}\n");
+  return out;
+}
+
+std::string NodeHost::RenderMetrics() {
+  ExportGauges();
+  StatsRegistry& stats = env_->stats();
+  // Touch the families a scraper is promised even before first use, so
+  // /metrics is schema-stable from the first scrape on.
+  stats.counter("net.gateway.requests");
+  stats.counter("net.gateway.responses");
+  stats.counter("net.gateway.served_petal");
+  stats.counter("net.gateway.served_directory");
+  stats.counter("net.gateway.served_origin");
+  stats.counter("net.gateway.slow_requests");
+  stats.counter("net.admin.requests");
+
+  std::string out;
+  AppendPrometheusStats(stats, &out);
+  AppendF(&out, "# TYPE flowercdn_eventloop_polls counter\n"
+                "flowercdn_eventloop_polls %llu\n",
+          static_cast<unsigned long long>(loop_.polls()));
+  AppendPrometheusSummary("flowercdn_eventloop_poll_wait_seconds",
+                          loop_.poll_wait(), &out);
+  AppendPrometheusSummary("flowercdn_eventloop_callback_seconds",
+                          loop_.callback_duration(), &out);
+  if (gateway_ != nullptr) {
+    AppendPrometheusSummary("flowercdn_gateway_request_seconds",
+                            gateway_->request_latency(), &out);
+  }
+  return out;
+}
+
+bool NodeHost::WriteStatsJson(const std::string& path,
+                              double wall_seconds) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    FLOWERCDN_LOG(kWarning) << "cannot write " << path;
+    return false;
+  }
+  std::string json = StatusJson(wall_seconds);
+  std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return true;
 }

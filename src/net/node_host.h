@@ -1,6 +1,7 @@
 #ifndef FLOWERCDN_NET_NODE_HOST_H_
 #define FLOWERCDN_NET_NODE_HOST_H_
 
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "expt/env.h"
 #include "flower/dring.h"
 #include "flower/flower_peer.h"
+#include "net/admin.h"
 #include "net/event_loop.h"
 #include "net/gateway.h"
 #include "net/tcp_transport.h"
@@ -67,6 +69,32 @@ class NodeHost {
     bool enable_gateway = false;
     Gateway::Options gateway;
     TcpTransport::Options tcp;
+    /// Dedicated admin listener (--admin-port). The admin endpoints are
+    /// always also served on the gateway port when the gateway is enabled.
+    bool enable_admin = false;
+    AdminServer::Options admin;
+    /// > 0: sample a per-interval snapshot (qps, latency quantiles,
+    /// hit-source mix) every this many wall seconds while running; the
+    /// series lands in /statusz and the stats JSON as "intervals".
+    double stats_interval_s = 0;
+    /// Optional external stop signal (a signal handler's flag): run loops
+    /// exit cleanly when it becomes non-zero, so a SIGTERM'd node still
+    /// writes its stats file.
+    const volatile sig_atomic_t* stop_flag = nullptr;
+  };
+
+  /// One periodic snapshot of the serving path, all values deltas over the
+  /// sampling interval (except sim_ms/t_s, which are run totals).
+  struct IntervalSample {
+    double t_s = 0;        // wall seconds since the run started
+    long long sim_ms = 0;  // simulated clock at sample time
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    double qps = 0;  // responses / interval length
+    double p50_ms = 0, p99_ms = 0;  // gateway wall latency this interval
+    uint64_t served_petal = 0;
+    uint64_t served_directory = 0;
+    uint64_t served_origin = 0;
   };
 
   NodeHost(ExperimentEnv* env, const FlowerParams& params, Options options);
@@ -94,7 +122,10 @@ class NodeHost {
   TcpTransport* tcp() { return tcp_.get(); }
   UdpLoopbackTransport* udp() { return udp_.get(); }
   Gateway* gateway() { return gateway_.get(); }
+  AdminServer* admin() { return admin_.get(); }
+  AdminHandler& admin_handler() { return admin_handler_; }
   ExperimentEnv* env() { return env_; }
+  const std::vector<IntervalSample>& intervals() const { return intervals_; }
 
   /// Advances the simulated clock against wall time while serving sockets,
   /// until `sim_duration` is reached or Stop() is called.
@@ -114,6 +145,16 @@ class NodeHost {
   /// gateway connections) into the env's StatsRegistry as net.* gauges.
   void ExportGauges();
 
+  /// The node's status document (rank, hosted peers, sim time, network/
+  /// tcp/udp/gateway counters, event-loop health, interval series) as a
+  /// JSON object — what /statusz serves and WriteStatsJson persists.
+  std::string StatusJson(double wall_seconds) const;
+
+  /// Renders the /metrics Prometheus exposition: every StatsRegistry
+  /// instrument (gauges freshly exported) plus the event-loop and gateway
+  /// latency summaries.
+  std::string RenderMetrics();
+
   /// Writes the node's live-run stats as a JSON object to `path`
   /// (BENCH_live.json node record; schema in EXPERIMENTS.md).
   bool WriteStatsJson(const std::string& path, double wall_seconds) const;
@@ -123,6 +164,12 @@ class NodeHost {
   void LaunchClient(PeerId peer);
   PeerId PickClusterBootstrap(PeerId self) const;
   FlowerPeer* CreateSession(PeerId peer);
+  /// Honors Options::stop_flag (signal-handler shutdown request).
+  void CheckStopFlag();
+  /// Appends an IntervalSample when the sampling interval has elapsed
+  /// (`force`: flush a partial tail interval on shutdown).
+  void MaybeSampleInterval(double wall_s, bool force = false);
+  double RunWallSeconds() const;
 
   ExperimentEnv* env_;
   FlowerParams params_;
@@ -134,11 +181,20 @@ class NodeHost {
   std::unique_ptr<UdpLoopbackTransport> udp_;
   std::unique_ptr<TcpTransport> tcp_;
   std::unique_ptr<Gateway> gateway_;
+  AdminHandler admin_handler_;
+  std::unique_ptr<AdminServer> admin_;
 
   std::unordered_map<PeerId, std::unique_ptr<FlowerPeer>> sessions_;
   std::unordered_map<WebsiteId, std::vector<FlowerPeer*>> website_peers_;
   size_t initial_directories_ = 0;  // k * |W| (global, not per-rank)
   bool stop_ = false;
+
+  // Interval-sampling state (deltas against the previous sample).
+  std::vector<IntervalSample> intervals_;
+  double last_sample_wall_s_ = 0;
+  Gateway::Stats prev_gateway_stats_;
+  LatencyHistogram prev_request_latency_;
+  int64_t run_wall0_ms_ = -1;  // MonotonicMillis at run start (-1: not run)
 };
 
 }  // namespace flowercdn

@@ -200,6 +200,7 @@ void TcpTransport::ReadInbound(int fd) {
       }
       ++frames_received_;
       MessagePtr msg = std::move(decoded).value();
+      msg->trace = frame.header.trace;  // restore cross-rank trace context
       PeerId dst = msg->dst;
       network_->DeliverFromTransport(dst, frame.header.latency,
                                      static_cast<size_t>(
@@ -254,7 +255,7 @@ void TcpTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
       << "owner rank " << owner << " outside cluster";
 
   frame_.clear();
-  EncodeFrame(*msg, accounted_bytes, latency, &frame_);
+  EncodeFrame(*msg, accounted_bytes, latency, msg->trace, &frame_);
 
   OutConn& c = Out(owner);
   if (c.queue_bytes + frame_.size() > options_.queue_hard_cap) {
@@ -442,6 +443,14 @@ void TcpTransport::ExportGauges() {
               static_cast<double>(peak_queued_bytes_));
   stats_->Set("net.tcp.out_connected", static_cast<double>(connected_ranks()));
   stats_->Set("net.tcp.accepted", static_cast<double>(inbound_.size()));
+  // Per-connection write-queue depth: one gauge per remote rank this
+  // process has ever dialed (queue depth is the earliest backpressure
+  // signal — a single slow peer shows up here long before the aggregate).
+  char name[64];
+  for (const auto& [rank, conn] : outbound_) {
+    snprintf(name, sizeof(name), "net.tcp.out_queue_bytes.rank%d", rank);
+    stats_->Set(name, static_cast<double>(conn.queue_bytes));
+  }
 }
 
 }  // namespace flowercdn

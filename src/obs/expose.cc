@@ -1,0 +1,66 @@
+#include "obs/expose.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace flowercdn {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "flowercdn_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusStats(const StatsRegistry& stats, std::string* out) {
+  for (const auto& c : stats.SnapshotCounters()) {
+    std::string name = PrometheusName(c.name);
+    AppendF(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(),
+            name.c_str(), c.total);
+  }
+  for (const auto& g : stats.SnapshotGauges()) {
+    std::string name = PrometheusName(g.name);
+    AppendF(out, "# TYPE %s gauge\n%s %.17g\n", name.c_str(), name.c_str(),
+            g.value);
+  }
+}
+
+void AppendPrometheusSummary(std::string_view name,
+                             const LatencyHistogram& hist, std::string* out) {
+  std::string n(name);
+  AppendF(out, "# TYPE %s summary\n", n.c_str());
+  for (double q : kQuantiles) {
+    AppendF(out, "%s{quantile=\"%g\"} %.9f\n", n.c_str(), q,
+            static_cast<double>(hist.QuantileMicros(q)) / 1e6);
+  }
+  AppendF(out, "%s_sum %.9f\n", n.c_str(),
+          static_cast<double>(hist.sum_micros()) / 1e6);
+  AppendF(out, "%s_count %" PRIu64 "\n", n.c_str(), hist.count());
+}
+
+}  // namespace flowercdn

@@ -1,0 +1,36 @@
+#ifndef FLOWERCDN_OBS_EXPOSE_H_
+#define FLOWERCDN_OBS_EXPOSE_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/latency_histogram.h"
+#include "obs/stats.h"
+
+namespace flowercdn {
+
+/// Prometheus text-exposition rendering (format version 0.0.4) for the obs
+/// instruments, so the live cluster's /metrics endpoint and the simulator
+/// share one metrics namespace: every StatsRegistry counter/gauge exports
+/// under `flowercdn_<name with dots replaced>`.
+
+/// Sanitizes an internal dotted instrument name ("net.tcp.frames_sent")
+/// into a Prometheus metric name ("flowercdn_net_tcp_frames_sent"). Any
+/// character outside [a-zA-Z0-9_] becomes '_'.
+std::string PrometheusName(std::string_view name);
+
+/// Appends every counter (as `counter`) and gauge (as `gauge`) of the
+/// registry in name order, each with a # TYPE line. Counters export their
+/// cumulative totals, so scrape-over-scrape values are monotone.
+void AppendPrometheusStats(const StatsRegistry& stats, std::string* out);
+
+/// Appends one latency histogram as a Prometheus summary in seconds:
+/// quantile samples (0.5 / 0.9 / 0.99 / 0.999), `<name>_sum` and
+/// `<name>_count`. `name` must already be a valid metric name (use
+/// PrometheusName). Cumulative, like everything else on /metrics.
+void AppendPrometheusSummary(std::string_view name,
+                             const LatencyHistogram& hist, std::string* out);
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_OBS_EXPOSE_H_

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cstdio>
 #include <fstream>
 
 #include "util/logging.h"
@@ -73,6 +74,19 @@ void TraceCollector::AddSpan(uint64_t query, QueryPhase phase, SimTime start,
   spans_.push_back(span);
 }
 
+void TraceCollector::AddRemoteSpan(uint64_t trace_id, const char* name,
+                                   SimTime now, PeerId peer, PeerId src) {
+  if (trace_id == 0) return;
+  if (remote_spans_.size() >= max_queries_) return;
+  RemoteSpan span;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.time = now;
+  span.peer = peer;
+  span.src = src;
+  remote_spans_.push_back(span);
+}
+
 void TraceCollector::EndQuery(uint64_t query, SimTime now, bool hit) {
   if (query == 0 || query > queries_.size()) return;
   Query& q = queries_[query - 1];
@@ -101,13 +115,23 @@ namespace {
 /// One trace event line. All values are integers or fixed literals, so the
 /// output is byte-deterministic without a general JSON writer.
 void WriteEventPrefix(std::ostream& os, bool& first, const char* name,
-                      const char* cat, SimTime start, SimTime end,
+                      const char* cat, SimTime start, SimTime end, int pid,
                       PeerId tid) {
   if (!first) os << ",\n";
   first = false;
   os << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
      << "\",\"ph\":\"X\",\"ts\":" << start * 1000
-     << ",\"dur\":" << (end - start) * 1000 << ",\"pid\":1,\"tid\":" << tid;
+     << ",\"dur\":" << (end - start) * 1000 << ",\"pid\":" << pid
+     << ",\"tid\":" << tid;
+}
+
+/// `"trace_id":"0x<hex>"` — string-valued because trace ids use the full
+/// 64-bit range and JSON numbers would lose precision past 2^53.
+void WriteTraceIdArg(std::ostream& os, uint64_t trace_id) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "0x%llx",
+           static_cast<unsigned long long>(trace_id));
+  os << ",\"trace_id\":\"" << buf << "\"";
 }
 
 }  // namespace
@@ -116,23 +140,35 @@ void TraceCollector::WriteChromeTrace(std::ostream& os) const {
   os << "{\"traceEvents\":[\n";
   bool first = true;
   // Process metadata so the viewer labels the track sensibly.
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-        "\"args\":{\"name\":\"flowercdn-sim\"}}";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << export_pid_
+     << ",\"args\":{\"name\":\"" << export_process_name_ << "\"}}";
   first = false;
   for (const Query& q : queries_) {
-    WriteEventPrefix(os, first, "query", "query", q.start, q.end, q.peer);
+    WriteEventPrefix(os, first, "query", "query", q.start, q.end, export_pid_,
+                     q.peer);
     os << ",\"args\":{\"query\":" << q.id << ",\"website\":" << q.website
        << ",\"object\":" << q.object
        << ",\"new_client\":" << (q.from_new_client ? "true" : "false")
        << ",\"hit\":" << (q.hit ? "true" : "false")
-       << ",\"finished\":" << (q.finished ? "true" : "false") << "}}";
+       << ",\"finished\":" << (q.finished ? "true" : "false");
+    if (dist_prefix_ != 0) WriteTraceIdArg(os, DistributedIdOf(q.id));
+    os << "}}";
   }
   for (const Span& s : spans_) {
     WriteEventPrefix(os, first, QueryPhaseName(s.phase), "phase", s.start,
-                     s.end, s.peer);
+                     s.end, export_pid_, s.peer);
     os << ",\"args\":{\"query\":" << s.query << ",\"target\":" << s.target;
     if (s.hops >= 0) os << ",\"hops\":" << s.hops;
-    os << ",\"ok\":" << (s.ok ? "true" : "false") << "}}";
+    os << ",\"ok\":" << (s.ok ? "true" : "false");
+    if (dist_prefix_ != 0) WriteTraceIdArg(os, DistributedIdOf(s.query));
+    os << "}}";
+  }
+  for (const RemoteSpan& r : remote_spans_) {
+    WriteEventPrefix(os, first, r.name, "remote", r.time, r.time, export_pid_,
+                     r.peer);
+    os << ",\"args\":{\"src\":" << r.src;
+    WriteTraceIdArg(os, r.trace_id);
+    os << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

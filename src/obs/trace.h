@@ -65,6 +65,56 @@ class TraceCollector {
     bool ok = true;                // false: timeout / refusal on this hop
   };
 
+  /// A span recorded on behalf of a query that began on *another* rank of
+  /// a cluster deployment: only the 64-bit distributed trace id is known
+  /// locally. Exported as a zero-duration event carrying the trace_id so
+  /// the cross-rank merge can stitch it under the originating query.
+  struct RemoteSpan {
+    uint64_t trace_id = 0;
+    const char* name = "";  // must point at static storage
+    SimTime time = 0;
+    PeerId peer = kInvalidPeer;
+    PeerId src = kInvalidPeer;  // sender of the message being handled
+  };
+
+  // --- Distributed (cluster) mode ------------------------------------------
+  // All defaults keep single-process exports byte-identical: no prefix, no
+  // trace_id args, pid 1, process name "flowercdn-sim".
+
+  /// Installs the rank's distributed-id prefix (e.g. (rank+1) << 48).
+  /// Non-zero makes DistributedIdOf produce cluster-unique trace ids and
+  /// the Chrome export annotate every query/span with its trace_id.
+  void SetDistributedPrefix(uint64_t prefix) { dist_prefix_ = prefix; }
+  uint64_t distributed_prefix() const { return dist_prefix_; }
+
+  /// Cluster-unique trace id of a local query id — `prefix | local_id` —
+  /// or 0 (untraced) while no prefix is installed.
+  uint64_t DistributedIdOf(uint64_t local_id) const {
+    return dist_prefix_ == 0 ? 0 : dist_prefix_ | local_id;
+  }
+
+  /// Local query id of a distributed trace id minted by this collector
+  /// (0 when the id came from another rank or no prefix is installed).
+  uint64_t LocalIdOf(uint64_t trace_id) const {
+    if (dist_prefix_ == 0 || (trace_id & dist_prefix_) != dist_prefix_) {
+      return 0;
+    }
+    return trace_id & ~dist_prefix_;
+  }
+
+  /// How the Chrome export labels this process (one rank = one pid in the
+  /// merged cluster trace).
+  void SetExportProcess(int pid, std::string name) {
+    export_pid_ = pid;
+    export_process_name_ = std::move(name);
+  }
+
+  /// Records work done locally for a foreign-rank query. Bounded by the
+  /// same cap as spans; `name` must be a static string.
+  void AddRemoteSpan(uint64_t trace_id, const char* name, SimTime now,
+                     PeerId peer, PeerId src);
+  const std::vector<RemoteSpan>& remote_spans() const { return remote_spans_; }
+
   /// Starts a query trace; returns its id (never 0). Pass the id to
   /// AddSpan/EndQuery. Query `max_queries+1` onward is histogram-only.
   uint64_t BeginQuery(PeerId peer, WebsiteId website, uint32_t object,
@@ -102,8 +152,12 @@ class TraceCollector {
   size_t max_queries_;
   uint64_t next_id_ = 1;
   uint64_t overflow_queries_ = 0;
+  uint64_t dist_prefix_ = 0;
+  int export_pid_ = 1;
+  std::string export_process_name_ = "flowercdn-sim";
   std::vector<Query> queries_;  // queries_[i].id == i + 1
   std::vector<Span> spans_;
+  std::vector<RemoteSpan> remote_spans_;
   std::vector<Histogram> phase_latency_;
   Histogram dring_hops_;
 };

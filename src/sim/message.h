@@ -26,6 +26,20 @@ constexpr MessageType kFlowerMessageBase = 3000;
 constexpr MessageType kSquirrelMessageBase = 4000;
 constexpr MessageType kContentMessageBase = 5000;
 
+/// Distributed trace context: identifies the query a message is working
+/// for (trace_id) and the span that caused it to be sent (span_id), so a
+/// gateway request's phases can be stitched back together across cluster
+/// ranks. All-zero means untraced — the default, and the only state the
+/// deterministic sim ever sees unless a collector is installed. Carried
+/// out-of-band: it does not contribute to SizeBytes() or the wire codec's
+/// canonical message encoding (socket transports ship it in the frame
+/// header extension instead, see wire/frame.h).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
 /// Base class of everything the simulated network transports. Concrete
 /// protocols subclass it with their payload fields. Routing metadata
 /// (src/dst/rpc correlation) lives here so the network and the RPC layer
@@ -47,6 +61,9 @@ struct Message {
   /// Non-zero when the message participates in a request/response exchange.
   uint64_t rpc_id = 0;
   bool is_response = false;
+  /// Trace context propagated from the sending peer's current activity
+  /// (stamped by Network::Send when unset). Inert unless tracing is on.
+  TraceContext trace;
 };
 
 using MessagePtr = std::unique_ptr<Message>;

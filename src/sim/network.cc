@@ -95,6 +95,7 @@ void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
   FLOWERCDN_CHECK(msg != nullptr);
   msg->src = src;
   msg->dst = dst;
+  if (!msg->trace.active()) msg->trace = current_trace_;
   ++messages_sent_;
   size_t size = sizer_ != nullptr ? sizer_(*msg) : msg->SizeBytes();
   bytes_sent_ += size;
@@ -161,11 +162,15 @@ void Network::Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
             // caller so it detects the dead peer in one round trip.
             auto nack = std::make_unique<TransportNackMsg>();
             nack->rpc_id = msg->rpc_id;
+            nack->trace = msg->trace;
             Send(msg->dst, msg->src, std::move(nack));
           }
           return;
         }
         ++messages_delivered_;
+        // Everything the handler sends (responses, forwards, follow-up
+        // queries) inherits the delivered message's trace context.
+        NetworkTraceScope scope(this, msg->trace);
         it->second.node->HandleMessage(std::move(msg));
       });
 }

@@ -102,6 +102,23 @@ class Network {
   /// Hands out process-wide unique RPC correlation ids.
   uint64_t NextRpcId() { return next_rpc_id_++; }
 
+  // --- Trace-context propagation -------------------------------------------
+  // Distributed tracing rides along without touching any protocol code: the
+  // activity that is "current" while a peer runs (set by the delivery path
+  // around HandleMessage, or by an explicit NetworkTraceScope at a query's
+  // root) is stamped onto every message it sends, and restored on the
+  // receiving side — across processes, via the frame header extension.
+
+  /// The trace context stamped onto messages sent with no explicit context.
+  const TraceContext& current_trace() const { return current_trace_; }
+  /// Replaces the current context; returns the previous one (restore it —
+  /// or use NetworkTraceScope, which does this automatically).
+  TraceContext SetCurrentTrace(const TraceContext& trace) {
+    TraceContext prev = current_trace_;
+    current_trace_ = trace;
+    return prev;
+  }
+
   /// Installs (or, with nullptr, removes) the fault-injection layer. At
   /// most one hook at a time; owned by the caller and consulted on every
   /// subsequent Send().
@@ -204,6 +221,7 @@ class Network {
 
   Simulator* sim_;
   Topology* topology_;
+  TraceContext current_trace_;
   NetworkFaultHook* fault_hook_ = nullptr;
   std::unique_ptr<Transport> default_transport_;
   Transport* transport_ = nullptr;  // never null after construction
@@ -216,6 +234,23 @@ class Network {
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
   TrafficBreakdown traffic_;
+};
+
+/// RAII guard that makes `trace` the network's current trace context for
+/// the enclosing scope. Used at a query's root (the peer that starts the
+/// distributed activity) — everything sent inside the scope inherits the
+/// context.
+class NetworkTraceScope {
+ public:
+  NetworkTraceScope(Network* network, const TraceContext& trace)
+      : network_(network), prev_(network->SetCurrentTrace(trace)) {}
+  NetworkTraceScope(const NetworkTraceScope&) = delete;
+  NetworkTraceScope& operator=(const NetworkTraceScope&) = delete;
+  ~NetworkTraceScope() { network_->SetCurrentTrace(prev_); }
+
+ private:
+  Network* network_;
+  TraceContext prev_;
 };
 
 }  // namespace flowercdn

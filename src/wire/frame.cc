@@ -8,24 +8,50 @@
 namespace flowercdn {
 
 size_t EncodeFrame(const Message& msg, uint64_t accounted_bytes,
-                   SimDuration latency, std::vector<uint8_t>* out) {
+                   SimDuration latency, const TraceContext& trace,
+                   std::vector<uint8_t>* out) {
   size_t start = out->size();
+  bool traced = trace.active();
   WireWriter w(out);
-  w.U32(0);  // payload_len back-patched below
+  w.U32(0);  // flags|payload_len back-patched below
   w.U64(accounted_bytes);
   w.U64(static_cast<uint64_t>(latency));
+  if (traced) {
+    w.U64(trace.trace_id);
+    w.U64(trace.span_id);
+  }
+  size_t header_bytes =
+      kFrameHeaderBytes + (traced ? kFrameTraceExtBytes : 0);
   WireEncodeTo(msg, out);
-  size_t payload_len = out->size() - start - kFrameHeaderBytes;
-  w.PatchU32(start, static_cast<uint32_t>(payload_len));
+  size_t payload_len = out->size() - start - header_bytes;
+  w.PatchU32(start, static_cast<uint32_t>(payload_len) |
+                        (traced ? kFrameTraceFlag : 0u));
   return payload_len;
+}
+
+size_t FrameHeaderWireBytes(const uint8_t* data) {
+  uint32_t word = static_cast<uint32_t>(data[0]) |
+                  static_cast<uint32_t>(data[1]) << 8 |
+                  static_cast<uint32_t>(data[2]) << 16 |
+                  static_cast<uint32_t>(data[3]) << 24;
+  return kFrameHeaderBytes +
+         ((word & kFrameTraceFlag) != 0 ? kFrameTraceExtBytes : 0);
 }
 
 bool ParseFrameHeader(const uint8_t* data, size_t size, FrameHeader* out,
                       std::string* error) {
   WireReader r(data, size);
-  out->payload_len = r.U32();
+  uint32_t word = r.U32();
+  out->traced = (word & kFrameTraceFlag) != 0;
+  out->payload_len = word & ~kFrameTraceFlag;
   out->accounted_bytes = r.U64();
   out->latency = static_cast<SimDuration>(r.U64());
+  if (out->traced) {
+    out->trace.trace_id = r.U64();
+    out->trace.span_id = r.U64();
+  } else {
+    out->trace = TraceContext();
+  }
   if (!r.ok()) {
     if (error != nullptr) *error = "truncated frame header";
     return false;
@@ -59,10 +85,14 @@ void FrameAssembler::Append(const uint8_t* data, size_t n) {
 
 bool FrameAssembler::Next(Frame* out) {
   if (failed_) return false;
-  if (buffered_bytes() < kFrameHeaderBytes) return false;
+  if (buffered_bytes() < 4) return false;
+  // The flag bit decides the header's wire size; wait for all of it before
+  // parsing (a read may tear inside the trace extension).
+  size_t header_bytes = FrameHeaderWireBytes(buf_.data() + consumed_);
+  if (buffered_bytes() < header_bytes) return false;
   FrameHeader header;
   std::string error;
-  if (!ParseFrameHeader(buf_.data() + consumed_, kFrameHeaderBytes, &header,
+  if (!ParseFrameHeader(buf_.data() + consumed_, header_bytes, &header,
                         &error)) {
     Fail(error);
     return false;
@@ -72,13 +102,13 @@ bool FrameAssembler::Next(Frame* out) {
          " bytes)");
     return false;
   }
-  if (buffered_bytes() < kFrameHeaderBytes + header.payload_len) {
+  if (buffered_bytes() < header_bytes + header.payload_len) {
     return false;  // payload still in flight
   }
   out->header = header;
-  const uint8_t* payload = buf_.data() + consumed_ + kFrameHeaderBytes;
+  const uint8_t* payload = buf_.data() + consumed_ + header_bytes;
   out->payload.assign(payload, payload + header.payload_len);
-  consumed_ += kFrameHeaderBytes + header.payload_len;
+  consumed_ += header_bytes + header.payload_len;
   if (consumed_ == buf_.size()) {
     buf_.clear();
     consumed_ = 0;

@@ -96,7 +96,8 @@ void UdpLoopbackTransport::Carry(PeerId src, PeerId dst, SimDuration latency,
   Endpoint& to = EndpointFor(dst);
 
   frame_.clear();
-  size_t payload_len = EncodeFrame(*msg, accounted_bytes, latency, &frame_);
+  size_t payload_len =
+      EncodeFrame(*msg, accounted_bytes, latency, msg->trace, &frame_);
   if (frame_.size() > kMaxDatagram) {
     // The encoding cannot ride one loopback datagram. Losing it silently
     // would make the protocol stall mysteriously; crashing would let one
@@ -183,15 +184,16 @@ void UdpLoopbackTransport::DrainSocket(int fd) {
     FrameHeader header;
     std::string frame_error;
     FLOWERCDN_CHECK(ParseFrameHeader(buf, size_t(n), &header, &frame_error) &&
-                    header.payload_len == size_t(n) - kFrameHeaderBytes)
+                    header.payload_len == size_t(n) - header.HeaderBytes())
         << "udp-loopback: corrupt frame (" << n << " bytes): " << frame_error;
 
     Result<MessagePtr> decoded =
-        WireDecode(buf + kFrameHeaderBytes, header.payload_len);
+        WireDecode(buf + header.HeaderBytes(), header.payload_len);
     FLOWERCDN_CHECK(decoded.ok())
         << "udp-loopback: undecodable datagram: "
         << decoded.status().ToString();
     MessagePtr msg = std::move(decoded).value();
+    msg->trace = header.trace;  // restore the carried trace context
     PeerId dst = msg->dst;
     network_->DeliverFromTransport(dst, header.latency,
                                    size_t(header.accounted_bytes),

@@ -108,6 +108,88 @@ TEST(NetFrameTest, CustomPayloadCapIsEnforced) {
   EXPECT_TRUE(tight.failed());
 }
 
+std::vector<uint8_t> OneTracedFrame(uint64_t rpc_id, const TraceContext& tctx) {
+  ChordPingMsg msg;
+  msg.src = 7;
+  msg.dst = 9;
+  msg.rpc_id = rpc_id;
+  std::vector<uint8_t> out;
+  EncodeFrame(msg, 77, 5, tctx, &out);
+  return out;
+}
+
+// A frame carrying a trace context grows by the 16-byte extension, round-
+// trips both ids, and still reassembles from torn reads at every split.
+TEST(NetFrameTest, TracedFrameRoundTripsAtEverySplitPoint) {
+  TraceContext tctx;
+  tctx.trace_id = 0x0001234500000042ull;
+  tctx.span_id = 0xABCDEF0011223344ull;
+  std::vector<uint8_t> traced = OneTracedFrame(3, tctx);
+  std::vector<uint8_t> plain = OneFrame(3, 77, 5);
+  EXPECT_EQ(traced.size(), plain.size() + kFrameTraceExtBytes);
+
+  for (size_t split = 0; split <= traced.size(); ++split) {
+    FrameAssembler assembler;
+    assembler.Append(traced.data(), split);
+    assembler.Append(traced.data() + split, traced.size() - split);
+    FrameAssembler::Frame frame;
+    ASSERT_TRUE(assembler.Next(&frame)) << "split=" << split;
+    EXPECT_TRUE(frame.header.traced);
+    EXPECT_EQ(frame.header.trace.trace_id, tctx.trace_id);
+    EXPECT_EQ(frame.header.trace.span_id, tctx.span_id);
+    EXPECT_EQ(frame.header.accounted_bytes, 77u);
+    EXPECT_EQ(RpcIdOf(frame), 3u);
+    EXPECT_FALSE(assembler.Next(&frame));
+    EXPECT_FALSE(assembler.failed());
+  }
+}
+
+// Old <-> new interop: a frame encoded with an empty trace context is
+// byte-identical to the legacy 4-arg encoding (an old receiver keeps
+// working), and a new receiver parses it with traced == false.
+TEST(NetFrameTest, EmptyTraceContextEncodesLegacyBytes) {
+  std::vector<uint8_t> legacy = OneFrame(11, 77, 5);
+  std::vector<uint8_t> empty_ctx = OneTracedFrame(11, TraceContext());
+  ASSERT_EQ(legacy.size(), empty_ctx.size());
+  EXPECT_EQ(std::memcmp(legacy.data(), empty_ctx.data(), legacy.size()), 0);
+
+  FrameAssembler assembler;
+  assembler.Append(legacy.data(), legacy.size());
+  FrameAssembler::Frame frame;
+  ASSERT_TRUE(assembler.Next(&frame));
+  EXPECT_FALSE(frame.header.traced);
+  EXPECT_EQ(frame.header.trace.trace_id, 0u);
+  EXPECT_EQ(frame.header.trace.span_id, 0u);
+}
+
+// Traced and untraced frames interleave freely on one stream.
+TEST(NetFrameTest, MixedTracedAndUntracedStream) {
+  TraceContext tctx;
+  tctx.trace_id = 99;
+  tctx.span_id = 100;
+  std::vector<uint8_t> stream = OneFrame(1, 1, 1);
+  std::vector<uint8_t> traced = OneTracedFrame(2, tctx);
+  stream.insert(stream.end(), traced.begin(), traced.end());
+  std::vector<uint8_t> tail = OneFrame(3, 3, 3);
+  stream.insert(stream.end(), tail.begin(), tail.end());
+
+  FrameAssembler assembler;
+  assembler.Append(stream.data(), stream.size());
+  FrameAssembler::Frame frame;
+  ASSERT_TRUE(assembler.Next(&frame));
+  EXPECT_FALSE(frame.header.traced);
+  EXPECT_EQ(RpcIdOf(frame), 1u);
+  ASSERT_TRUE(assembler.Next(&frame));
+  EXPECT_TRUE(frame.header.traced);
+  EXPECT_EQ(frame.header.trace.trace_id, 99u);
+  EXPECT_EQ(RpcIdOf(frame), 2u);
+  ASSERT_TRUE(assembler.Next(&frame));
+  EXPECT_FALSE(frame.header.traced);
+  EXPECT_EQ(RpcIdOf(frame), 3u);
+  EXPECT_FALSE(assembler.Next(&frame));
+  EXPECT_FALSE(assembler.failed());
+}
+
 // A malformed header (negative latency) fails the stream too.
 TEST(NetFrameTest, NegativeLatencyLatchesFailed) {
   std::vector<uint8_t> bytes = OneFrame(1, 1, 1);

@@ -15,6 +15,8 @@
 //    with zero frame-decode errors.
 //  * --transport=inproc: pointer-handoff delivery (debugging baseline).
 
+#include <csignal>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -54,9 +56,22 @@ void Usage(const char* argv0) {
       "  --gateway          enable gateway on an auto port\n"
       "  --time-scale=X     sim-ms per wall-ms         (default 20)\n"
       "  --partition=S      hash | locality            (default locality)\n"
-      "  --stats-out=PATH   write node stats JSON on exit\n",
+      "  --stats-out=PATH   write node stats JSON on exit\n"
+      "observability:\n"
+      "  --admin-port=P     dedicated /metrics /statusz /healthz listener\n"
+      "                     (0=auto; endpoints always also on the gateway)\n"
+      "  --stats-interval=S per-interval qps/latency snapshots every S wall\n"
+      "                     seconds (into /statusz and --stats-out)\n"
+      "  --trace-out=PATH   write this rank's Chrome trace-event JSON on\n"
+      "                     exit (cross-rank ids; merge with\n"
+      "                     scripts/merge_traces.py)\n"
+      "  --slow-request-ms=X log gateway requests slower than X wall ms\n",
       argv0);
 }
+
+volatile sig_atomic_t g_stop_requested = 0;
+
+void OnStopSignal(int) { g_stop_requested = 1; }
 
 bool ParseCluster(const char* spec, std::vector<ClusterMember>* out) {
   out->clear();
@@ -108,6 +123,9 @@ int main(int argc, char** argv) {
   bool want_gateway = false;
   uint16_t gateway_port = 0;
   std::string stats_out;
+  std::string trace_out;
+  bool want_admin = false;
+  uint16_t admin_port = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--transport=", 12) == 0) {
@@ -162,6 +180,15 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
       stats_out = arg + 12;
+    } else if (std::strncmp(arg, "--admin-port=", 13) == 0) {
+      want_admin = true;
+      admin_port = static_cast<uint16_t>(atoi(arg + 13));
+    } else if (std::strncmp(arg, "--stats-interval=", 17) == 0) {
+      host_options.stats_interval_s = atof(arg + 17);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--slow-request-ms=", 18) == 0) {
+      host_options.gateway.slow_request_ms = atof(arg + 18);
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else {
@@ -191,8 +218,31 @@ int main(int argc, char** argv) {
   }
   host_options.enable_gateway = want_gateway;
   host_options.gateway.port = gateway_port;
+  host_options.enable_admin = want_admin;
+  host_options.admin.port = admin_port;
+  host_options.stop_flag = &g_stop_requested;
+  if (!trace_out.empty()) config.collect_traces = true;
+
+  // Graceful shutdown: a signalled node leaves the run loop at the next
+  // iteration and still writes --stats-out / --trace-out.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnStopSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 
   ExperimentEnv env(config);
+  if (!trace_out.empty() && env.trace_ptr() != nullptr) {
+    // Rank-distinct trace ids (rank 0 => prefix 1<<48) so per-rank trace
+    // files can be merged into one cluster-wide trace, and foreign spans
+    // are recognizable on arrival.
+    env.trace_ptr()->SetDistributedPrefix(
+        (static_cast<uint64_t>(host_options.rank) + 1) << 48);
+    char pname[64];
+    std::snprintf(pname, sizeof(pname), "flowercdn-node rank %d",
+                  host_options.rank);
+    env.trace_ptr()->SetExportProcess(host_options.rank + 1, pname);
+  }
   NodeHost host(&env, config.flower, host_options);
   if (!host.Setup()) {
     std::fprintf(stderr, "FAIL: setup (bind) failed\n");
@@ -208,6 +258,11 @@ int main(int argc, char** argv) {
       // kernel-picked; keep the format stable.
       std::fprintf(stderr, "gateway listening on http port %u\n",
                    host.gateway()->port());
+    }
+    if (host.admin() != nullptr) {
+      // Parsed by scripts/run_local_cluster.sh; keep the format stable.
+      std::fprintf(stderr, "admin listening on http port %u\n",
+                   host.admin()->port());
     }
   }
 
@@ -232,7 +287,16 @@ int main(int argc, char** argv) {
   const double wall_seconds =
       static_cast<double>(MonotonicMillis() - wall0) / 1000.0;
 
+  if (g_stop_requested != 0 && !quiet) {
+    std::fprintf(stderr, "stop signal received, shutting down cleanly\n");
+  }
   if (!stats_out.empty()) host.WriteStatsJson(stats_out, wall_seconds);
+  if (!trace_out.empty() && env.trace_ptr() != nullptr) {
+    Status st = env.trace_ptr()->WriteChromeTraceFile(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.message().c_str());
+    }
+  }
 
   const uint64_t queries = env.metrics().total_queries();
   const uint64_t hits = env.metrics().hits();

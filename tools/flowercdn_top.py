@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""flowercdn-top: live per-rank view of a running cluster.
+
+Scrapes every rank's /metrics endpoint (the gateway port serves it, or a
+dedicated --admin-port) and prints one table row per rank: hosted peers,
+gateway request/response totals, request rate since the previous scrape,
+p50/p99 request latency, and the petal/directory/origin hit-source mix.
+
+  tools/flowercdn_top.py 127.0.0.1:19600 127.0.0.1:19601 --interval 2
+
+One-shot by default; --count N (0 = forever) keeps refreshing every
+--interval seconds, computing rates from consecutive scrapes. Stdlib
+only.
+"""
+
+import argparse
+import sys
+import time
+import urllib.request
+
+
+def scrape(target, timeout):
+    url = "http://%s/metrics" % target
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        body = resp.read().decode("utf-8", "replace")
+    samples = {}
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        sp = line.rfind(" ")
+        if sp <= 0:
+            continue
+        try:
+            samples[line[:sp]] = float(line[sp + 1:])
+        except ValueError:
+            pass
+    return samples
+
+
+def fmt_row(target, cur, prev, dt):
+    def v(name):
+        return cur.get(name, 0.0)
+
+    requests = v("flowercdn_net_gateway_requests")
+    rate = 0.0
+    if prev is not None and dt > 0:
+        rate = (requests - prev.get("flowercdn_net_gateway_requests", 0.0)) \
+            / dt
+    p50 = v('flowercdn_gateway_request_seconds{quantile="0.5"}') * 1000
+    p99 = v('flowercdn_gateway_request_seconds{quantile="0.99"}') * 1000
+    return "%-22s %7d %9d %9d %8.1f %8.2f %8.2f %8d %5d %6d %6d" % (
+        target,
+        v("flowercdn_net_host_hosted_peers"),
+        requests,
+        v("flowercdn_net_gateway_responses"),
+        rate, p50, p99,
+        v("flowercdn_net_gateway_open_connections"),
+        v("flowercdn_net_gateway_served_petal"),
+        v("flowercdn_net_gateway_served_directory"),
+        v("flowercdn_net_gateway_served_origin"))
+
+
+HEADER = ("%-22s %7s %9s %9s %8s %8s %8s %8s %5s %6s %6s"
+          % ("rank endpoint", "peers", "requests", "resps", "req/s",
+             "p50ms", "p99ms", "conns", "petal", "dir", "origin"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("targets", nargs="+",
+                        help="host:port of each rank's /metrics server")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes (default 2)")
+    parser.add_argument("--count", type=int, default=1,
+                        help="refreshes before exiting; 0 = forever "
+                             "(default 1)")
+    parser.add_argument("--timeout", type=float, default=3.0,
+                        help="per-scrape HTTP timeout seconds")
+    args = parser.parse_args()
+
+    prev = {}
+    prev_t = None
+    iteration = 0
+    while True:
+        now = time.monotonic()
+        dt = (now - prev_t) if prev_t is not None else 0.0
+        rows = []
+        for target in args.targets:
+            try:
+                cur = scrape(target, args.timeout)
+            except OSError as e:
+                rows.append("%-22s unreachable (%s)" % (target, e))
+                continue
+            rows.append(fmt_row(target, cur, prev.get(target), dt))
+            prev[target] = cur
+        prev_t = now
+
+        print(HEADER)
+        for row in rows:
+            print(row)
+        sys.stdout.flush()
+
+        iteration += 1
+        if args.count != 0 and iteration >= args.count:
+            return 0
+        time.sleep(args.interval)
+        print()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
