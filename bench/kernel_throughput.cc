@@ -1,0 +1,200 @@
+// Kernel throughput harness for src/simcore: how fast the discrete-event
+// substrate retires events, measured two ways.
+//
+//  * micro: a classic "hold model" — P self-rescheduling timers with
+//    uniform delays, no protocol work at all — isolates raw scheduler
+//    push/pop throughput for the heap and ladder kernels.
+//  * trials: full Flower-CDN experiments (protocol + network + kernel) at
+//    1k / 10k / 100k peers, reporting wall seconds per trial and events
+//    retired per wall second on each kernel.
+//
+// Writes BENCH_kernel.json (schema flowercdn-kernel-bench/v1, documented in
+// EXPERIMENTS.md) with --json-out; --quick shrinks the grid to seconds for
+// CI smoke runs. Determinism note: simulation RESULTS are identical across
+// kernels (see tests/kernel_equivalence_test.cc); only the wall-clock
+// numbers here differ.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "expt/experiment.h"
+#include "runner/json_export.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+using namespace flowercdn;
+
+namespace {
+
+// One self-rescheduling timer of the hold model: each firing costs one
+// budget unit and re-arms with a fresh uniform delay until spent.
+void ScheduleTick(Simulator* sim, Rng* rng, uint64_t* budget) {
+  sim->Schedule(1 + rng->UniformInt(0, 999), [sim, rng, budget] {
+    if (*budget == 0) return;
+    --*budget;
+    ScheduleTick(sim, rng, budget);
+  });
+}
+
+struct MicroResult {
+  KernelKind kernel;
+  uint64_t events = 0;
+  double wall_seconds = 0;
+  double EventsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+  }
+};
+
+MicroResult RunMicro(KernelKind kernel, size_t timers, uint64_t budget) {
+  Simulator sim(kernel);
+  Rng rng(99);
+  uint64_t remaining = budget;
+  for (size_t i = 0; i < timers; ++i) {
+    ScheduleTick(&sim, &rng, &remaining);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  while (sim.Step()) {
+  }
+  MicroResult r;
+  r.kernel = kernel;
+  r.events = sim.events_processed();
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
+struct TrialPoint {
+  size_t population;
+  double simulated_hours;
+  KernelKind kernel;
+  ExperimentResult result;
+};
+
+TrialPoint RunTrial(size_t population, SimDuration duration,
+                    KernelKind kernel, uint64_t seed) {
+  ExperimentConfig config;
+  config.target_population = population;
+  config.duration = duration;
+  config.seed = seed;
+  config.kernel = kernel;
+  TrialPoint p;
+  p.population = population;
+  p.simulated_hours = static_cast<double>(duration) / kHour;
+  p.kernel = kernel;
+  p.result = RunExperiment(config, SystemKind::kFlowerCdn);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      json_out = arg + 11;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json-out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // --- Micro: raw scheduler throughput, hold model ------------------------
+  const size_t micro_timers = quick ? 1000 : 10000;
+  const uint64_t micro_budget = quick ? 500000 : 20000000;
+  std::printf("=== simcore kernel throughput (hold model: %zu timers, "
+              "%llu events) ===\n",
+              micro_timers,
+              static_cast<unsigned long long>(micro_budget));
+  std::vector<MicroResult> micro;
+  for (KernelKind kernel : {KernelKind::kHeap, KernelKind::kLadder}) {
+    micro.push_back(RunMicro(kernel, micro_timers, micro_budget));
+  }
+  {
+    TablePrinter table({"kernel", "events", "wall_s", "events/sec"});
+    for (const MicroResult& m : micro) {
+      table.AddRow({KernelKindName(m.kernel), std::to_string(m.events),
+                    FormatDouble(m.wall_seconds, 3),
+                    FormatDouble(m.EventsPerSec(), 0)});
+    }
+    table.Print(std::cout);
+  }
+
+  // --- Full trials: protocol + kernel at increasing scale -----------------
+  struct Scale {
+    size_t population;
+    SimDuration duration;
+  };
+  std::vector<Scale> scales;
+  if (quick) {
+    scales = {{200, kHour}};
+  } else {
+    scales = {{1000, 6 * kHour}, {10000, kHour}, {100000, 15 * kMinute}};
+  }
+  std::vector<TrialPoint> points;
+  std::printf("\n=== full Flower-CDN trials per kernel ===\n");
+  for (const Scale& s : scales) {
+    for (KernelKind kernel : {KernelKind::kHeap, KernelKind::kLadder}) {
+      points.push_back(RunTrial(s.population, s.duration, kernel, 42));
+      const TrialPoint& p = points.back();
+      std::printf("  P=%zu %.2fh %-6s : %8.2f s/trial, %12.0f events/sec\n",
+                  p.population, p.simulated_hours, KernelKindName(p.kernel),
+                  p.result.wall_seconds, p.result.EventsPerWallSecond());
+    }
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema").Value("flowercdn-kernel-bench/v1");
+    w.Key("bench").Value("src/simcore event-kernel throughput");
+    w.Key("quick").Value(quick);
+    w.Key("micro").BeginArray();
+    for (const MicroResult& m : micro) {
+      w.BeginObject();
+      w.Key("kernel").Value(KernelKindName(m.kernel));
+      w.Key("pattern").Value("hold-uniform");
+      w.Key("timers").Value(static_cast<uint64_t>(micro_timers));
+      w.Key("events").Value(m.events);
+      w.Key("wall_seconds").Value(m.wall_seconds);
+      w.Key("events_per_sec").Value(m.EventsPerSec());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("trials").BeginArray();
+    for (const TrialPoint& p : points) {
+      w.BeginObject();
+      w.Key("population").Value(static_cast<uint64_t>(p.population));
+      w.Key("simulated_hours").Value(p.simulated_hours);
+      w.Key("kernel").Value(KernelKindName(p.kernel));
+      w.Key("wall_seconds").Value(p.result.wall_seconds);
+      w.Key("seconds_per_trial").Value(p.result.wall_seconds);
+      w.Key("events_processed").Value(p.result.events_processed);
+      w.Key("events_cancelled").Value(p.result.events_cancelled);
+      w.Key("events_per_wall_second").Value(p.result.EventsPerWallSecond());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << "\n";
+    std::printf("\nkernel bench JSON written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

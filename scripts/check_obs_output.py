@@ -17,9 +17,15 @@ Validates that
     promised flowercdn_* families; given two scrapes of the same rank,
     every counter must be monotone between them.
 
+  * a BENCH_kernel.json from bench/kernel_throughput follows the
+    flowercdn-kernel-bench/v1 schema: both kernels measured, positive
+    throughput everywhere, and identical event counts wherever heap and
+    ladder ran the same workload (the determinism contract).
+
 Usage:
   check_obs_output.py --trace trace.json --runner out.json [--chaos]
   check_obs_output.py --metrics scrape1.txt [scrape2.txt]
+  check_obs_output.py --kernel BENCH_kernel.json
 Either file argument may be given alone. --chaos additionally requires
 at least one trial to carry an enabled chaos section (use it when the
 run was driven by a --chaos scenario). Exits non-zero on the first
@@ -165,6 +171,14 @@ def check_chaos(trial, where):
 
 
 def check_trial(trial, where):
+    # v4 kernel accounting: every trial reports how many events the
+    # scheduler retired and how many cancellations it absorbed.
+    for key in ("events_processed", "events_cancelled"):
+        require(isinstance(trial.get(key), int) and trial[key] >= 0,
+                f"runner: {where} {key} must be a non-negative int")
+    require(trial["events_processed"] > 0,
+            f"runner: {where} trial retired no events at all")
+
     overhead = trial.get("overhead")
     require(isinstance(overhead, dict), f'runner: {where} lacks "overhead"')
     require(isinstance(overhead.get("bucket_ms"), int) and
@@ -245,6 +259,61 @@ def check_runner(path, expect_chaos=False):
                 "runner: --chaos given but no trial ran with a scenario")
     print(f"check_obs_output: runner OK "
           f"({len(cells)} cells, {n_trials} trials, {n_chaos} with chaos)")
+
+
+KERNEL_KINDS = ("heap", "ladder")
+
+
+def check_kernel(path):
+    """Validates BENCH_kernel.json (schema flowercdn-kernel-bench/v1, written
+    by bench/kernel_throughput --json-out)."""
+    with open(path) as f:
+        doc = json.load(f)
+    require(doc.get("schema") == "flowercdn-kernel-bench/v1",
+            f"kernel: schema is {doc.get('schema')!r}, "
+            f"want flowercdn-kernel-bench/v1")
+    micro = doc.get("micro")
+    require(isinstance(micro, list) and micro, 'kernel: no "micro" entries')
+    kernels_seen = set()
+    for i, m in enumerate(micro):
+        require(m.get("kernel") in KERNEL_KINDS,
+                f"kernel: micro {i} has kernel {m.get('kernel')!r}")
+        kernels_seen.add(m["kernel"])
+        for key in ("pattern", "timers", "events", "wall_seconds",
+                    "events_per_sec"):
+            require(key in m, f"kernel: micro {i} lacks {key!r}")
+        require(m["events"] > 0 and m["events_per_sec"] > 0,
+                f"kernel: micro {i} measured no throughput")
+    require(kernels_seen == set(KERNEL_KINDS),
+            f"kernel: micro must cover both kernels, got {kernels_seen}")
+
+    trials = doc.get("trials")
+    require(isinstance(trials, list) and trials, 'kernel: no "trials"')
+    for i, t in enumerate(trials):
+        require(t.get("kernel") in KERNEL_KINDS,
+                f"kernel: trial {i} has kernel {t.get('kernel')!r}")
+        for key in ("population", "simulated_hours", "wall_seconds",
+                    "seconds_per_trial", "events_processed",
+                    "events_cancelled", "events_per_wall_second"):
+            require(key in t, f"kernel: trial {i} lacks {key!r}")
+        require(t["population"] > 0 and t["simulated_hours"] > 0,
+                f"kernel: trial {i} workload malformed")
+        require(t["events_processed"] > 0 and
+                t["events_per_wall_second"] > 0,
+                f"kernel: trial {i} measured no throughput")
+    # Determinism cross-check: where both kernels ran the same workload,
+    # they must have retired exactly the same number of events.
+    by_workload = {}
+    for t in trials:
+        key = (t["population"], t["simulated_hours"])
+        by_workload.setdefault(key, set()).add(
+            (t["events_processed"], t["events_cancelled"]))
+    for key, counts in by_workload.items():
+        require(len(counts) == 1,
+                f"kernel: workload {key} event counts differ across "
+                f"kernels: {counts}")
+    print(f"check_obs_output: kernel OK ({len(micro)} micro entries, "
+          f"{len(trials)} trials)")
 
 
 # Families every live node's /metrics must always expose, traffic or not
@@ -342,9 +411,12 @@ def main():
     parser.add_argument("--metrics", nargs="+", metavar="SCRAPE",
                         help="one or two /metrics scrapes of the same rank "
                              "(two: counters must be monotone)")
+    parser.add_argument("--kernel",
+                        help="BENCH_kernel.json from bench/kernel_throughput")
     args = parser.parse_args()
-    if not args.trace and not args.runner and not args.metrics:
-        parser.error("give --trace, --runner and/or --metrics")
+    if not args.trace and not args.runner and not args.metrics \
+            and not args.kernel:
+        parser.error("give --trace, --runner, --metrics and/or --kernel")
     if args.chaos and not args.runner:
         parser.error("--chaos needs --runner")
     if args.trace:
@@ -353,6 +425,8 @@ def main():
         check_runner(args.runner, expect_chaos=args.chaos)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.kernel:
+        check_kernel(args.kernel)
 
 
 if __name__ == "__main__":

@@ -128,7 +128,7 @@ void ChordNode::Leave() {
   // Fail outstanding lookups now instead of letting them time out.
   std::vector<LookupCallback> callbacks;
   callbacks.reserve(pending_lookups_.size());
-  for (auto& [id, pl] : pending_lookups_) {
+  for (auto& pl : pending_lookups_) {
     network_->sim()->Cancel(pl.timeout_event);
     callbacks.push_back(std::move(pl.cb));
   }
@@ -143,11 +143,30 @@ void ChordNode::Leave() {
 uint64_t ChordNode::RegisterLookup(ChordId key, LookupCallback cb) {
   uint64_t lookup_id = network_->NextRpcId();
   PendingLookup pl;
+  pl.id = lookup_id;
   pl.key = key;
   pl.cb = std::move(cb);
-  pending_lookups_.emplace(lookup_id, std::move(pl));
+  pending_lookups_.push_back(std::move(pl));
   ++lookups_started_;
   return lookup_id;
+}
+
+ChordNode::PendingLookup* ChordNode::FindLookup(uint64_t lookup_id) {
+  for (auto& pl : pending_lookups_) {
+    if (pl.id == lookup_id) return &pl;
+  }
+  return nullptr;
+}
+
+void ChordNode::EraseLookup(uint64_t lookup_id) {
+  for (size_t i = 0; i < pending_lookups_.size(); ++i) {
+    if (pending_lookups_[i].id != lookup_id) continue;
+    if (i != pending_lookups_.size() - 1) {
+      pending_lookups_[i] = std::move(pending_lookups_.back());
+    }
+    pending_lookups_.pop_back();
+    return;
+  }
 }
 
 void ChordNode::Lookup(ChordId key, LookupCallback cb) {
@@ -158,29 +177,27 @@ void ChordNode::Lookup(ChordId key, LookupCallback cb) {
 
 void ChordNode::LookupVia(PeerId via, ChordId key, LookupCallback cb) {
   uint64_t lookup_id = RegisterLookup(key, std::move(cb));
-  auto it = pending_lookups_.find(lookup_id);
-  it->second.via = via;
+  FindLookup(lookup_id)->via = via;
   StartLookupAttempt(lookup_id);
 }
 
 void ChordNode::StartLookupAttempt(uint64_t lookup_id) {
-  auto it = pending_lookups_.find(lookup_id);
-  if (it == pending_lookups_.end()) return;
-  PendingLookup& pl = it->second;
-  ++pl.attempts;
+  PendingLookup* pl = FindLookup(lookup_id);
+  if (pl == nullptr) return;
+  ++pl->attempts;
   ArmLookupTimeout(lookup_id);
-  if (pl.via.has_value()) {
+  if (pl->via.has_value()) {
     // Delegated lookup (pre-join): ship the query to the bootstrap peer.
-    auto req = MakeFindSuccessor(pl.key, self_, lookup_id, 0);
-    rpc_.Call(*pl.via, std::move(req), params_.rpc_timeout,
+    auto req = MakeFindSuccessor(pl->key, self_, lookup_id, 0);
+    rpc_.Call(*pl->via, std::move(req), params_.rpc_timeout,
               [this, lookup_id](const Status& status, MessagePtr) {
                 if (status.ok()) return;  // acked; answer will be routed
                 // Unresponsive bootstrap: retry (or fail) immediately
                 // instead of waiting out the full lookup timeout.
-                auto it2 = pending_lookups_.find(lookup_id);
-                if (it2 == pending_lookups_.end()) return;
-                network_->sim()->Cancel(it2->second.timeout_event);
-                if (it2->second.attempts >= params_.max_lookup_attempts) {
+                PendingLookup* pl2 = FindLookup(lookup_id);
+                if (pl2 == nullptr) return;
+                network_->sim()->Cancel(pl2->timeout_event);
+                if (pl2->attempts >= params_.max_lookup_attempts) {
                   CompleteLookupWithError(
                       lookup_id,
                       Status::Unavailable("lookup bootstrap unreachable"));
@@ -195,17 +212,17 @@ void ChordNode::StartLookupAttempt(uint64_t lookup_id) {
                             Status::FailedPrecondition("not in ring"));
     return;
   }
-  ProcessLookupStep(pl.key, self_, lookup_id, 0);
+  ProcessLookupStep(pl->key, self_, lookup_id, 0);
 }
 
 void ChordNode::ArmLookupTimeout(uint64_t lookup_id) {
-  auto it = pending_lookups_.find(lookup_id);
-  if (it == pending_lookups_.end()) return;
-  it->second.timeout_event = network_->SchedulePeer(
+  PendingLookup* pl = FindLookup(lookup_id);
+  if (pl == nullptr) return;
+  pl->timeout_event = network_->SchedulePeer(
       self_, incarnation_, params_.lookup_timeout, [this, lookup_id]() {
-        auto it2 = pending_lookups_.find(lookup_id);
-        if (it2 == pending_lookups_.end()) return;
-        if (it2->second.attempts >= params_.max_lookup_attempts) {
+        PendingLookup* pl2 = FindLookup(lookup_id);
+        if (pl2 == nullptr) return;
+        if (pl2->attempts >= params_.max_lookup_attempts) {
           CompleteLookupWithError(
               lookup_id, Status::TimedOut("lookup exhausted retries"));
           return;
@@ -292,21 +309,21 @@ void ChordNode::SendLookupResult(PeerId origin, uint64_t lookup_id,
 }
 
 void ChordNode::CompleteLookup(uint64_t lookup_id, RingPeer owner, int hops) {
-  auto it = pending_lookups_.find(lookup_id);
-  if (it == pending_lookups_.end()) return;  // duplicate/late result
-  network_->sim()->Cancel(it->second.timeout_event);
-  LookupCallback cb = std::move(it->second.cb);
-  pending_lookups_.erase(it);
+  PendingLookup* pl = FindLookup(lookup_id);
+  if (pl == nullptr) return;  // duplicate/late result
+  network_->sim()->Cancel(pl->timeout_event);
+  LookupCallback cb = std::move(pl->cb);
+  EraseLookup(lookup_id);
   cb(Status::OK(), owner, hops);
 }
 
 void ChordNode::CompleteLookupWithError(uint64_t lookup_id,
                                         const Status& status) {
-  auto it = pending_lookups_.find(lookup_id);
-  if (it == pending_lookups_.end()) return;
-  network_->sim()->Cancel(it->second.timeout_event);
-  LookupCallback cb = std::move(it->second.cb);
-  pending_lookups_.erase(it);
+  PendingLookup* pl = FindLookup(lookup_id);
+  if (pl == nullptr) return;
+  network_->sim()->Cancel(pl->timeout_event);
+  LookupCallback cb = std::move(pl->cb);
+  EraseLookup(lookup_id);
   ++lookups_failed_;
   cb(status, RingPeer{}, 0);
 }

@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "chord/finger_table.h"
@@ -132,6 +131,7 @@ class ChordNode {
 
  private:
   struct PendingLookup {
+    uint64_t id = 0;
     ChordId key = 0;
     LookupCallback cb;
     /// Set for delegated (pre-join) lookups routed through a bootstrap.
@@ -142,6 +142,11 @@ class ChordNode {
 
   // Lookup machinery.
   uint64_t RegisterLookup(ChordId key, LookupCallback cb);
+  /// Entry for an in-flight lookup, or null. Pointers stay valid until the
+  /// next RegisterLookup/EraseLookup.
+  PendingLookup* FindLookup(uint64_t lookup_id);
+  /// Swap-with-back removal; no-op for unknown ids.
+  void EraseLookup(uint64_t lookup_id);
   void StartLookupAttempt(uint64_t lookup_id);
   void ArmLookupTimeout(uint64_t lookup_id);
   void ProcessLookupStep(ChordId key, PeerId origin, uint64_t lookup_id,
@@ -206,7 +211,9 @@ class ChordNode {
   bool probe_soon_pending_ = false;
   bool finger_repair_pending_ = false;
 
-  std::unordered_map<uint64_t, PendingLookup> pending_lookups_;
+  // Flat table: a node rarely has more than a handful of lookups in
+  // flight, so a linear scan beats hashing and per-entry node allocation.
+  std::vector<PendingLookup> pending_lookups_;
   uint64_t lookups_started_ = 0;
   uint64_t lookups_failed_ = 0;
 };

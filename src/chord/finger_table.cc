@@ -6,13 +6,12 @@ namespace flowercdn {
 
 FingerTable::FingerTable(ChordId self, int count) : self_(self) {
   FLOWERCDN_CHECK(count >= 1 && count <= 64);
-  low_bit_ = 64 - count;
+  const int low_bit = 64 - count;
+  targets_.reserve(count);
+  for (int j = 0; j < count; ++j) {
+    targets_.push_back(self_ + (ChordId{1} << (low_bit + j)));  // modular add
+  }
   entries_.resize(count);
-}
-
-ChordId FingerTable::TargetOf(int j) const {
-  FLOWERCDN_CHECK(j >= 0 && j < size());
-  return self_ + (ChordId{1} << (low_bit_ + j));  // modular add
 }
 
 void FingerTable::ClearAll() {

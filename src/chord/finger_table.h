@@ -19,8 +19,10 @@ class FingerTable {
 
   int size() const { return static_cast<int>(entries_.size()); }
 
-  /// Ring point finger j aims at.
-  ChordId TargetOf(int j) const;
+  /// Ring point finger j aims at. Precomputed at construction — this sits
+  /// on the stabilization and lookup hot paths, called ~100M times per
+  /// long trial.
+  ChordId TargetOf(int j) const { return targets_[j]; }
 
   const std::optional<RingPeer>& entry(int j) const { return entries_[j]; }
 
@@ -42,7 +44,7 @@ class FingerTable {
 
  private:
   ChordId self_;
-  int low_bit_;  // finger j targets self + 2^(low_bit_ + j)
+  std::vector<ChordId> targets_;  // targets_[j] = self + 2^(64 - count + j)
   std::vector<std::optional<RingPeer>> entries_;
 };
 

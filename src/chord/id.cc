@@ -4,22 +4,6 @@
 
 namespace flowercdn {
 
-bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b) {
-  if (a == b) return true;  // full circle
-  if (a < b) return x > a && x <= b;
-  return x > a || x <= b;  // wrapped
-}
-
-bool InIntervalOpenOpen(ChordId x, ChordId a, ChordId b) {
-  if (a == b) return x != a;  // full circle minus the endpoint
-  if (a < b) return x > a && x < b;
-  return x > a || x < b;  // wrapped
-}
-
-ChordId RingDistance(ChordId from, ChordId to) {
-  return to - from;  // modular arithmetic of unsigned types
-}
-
 ChordId ChordHash(std::string_view name) { return Hash64(name); }
 
 }  // namespace flowercdn

@@ -23,17 +23,32 @@ struct RingPeer {
   }
 };
 
+// The interval predicates and RingDistance are defined inline: routing
+// calls them hundreds of millions of times per long trial (every finger
+// scan and every successor check), and the call overhead of out-of-line
+// definitions showed up in kernel profiles.
+
 /// True iff x lies in the half-open ring interval (a, b], walking clockwise
 /// from a. When a == b the interval covers the whole circle (single-node
 /// ring owns every key) — the Chord convention.
-bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b);
+inline bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b) {
+  if (a == b) return true;  // full circle
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
 
 /// True iff x lies in the open ring interval (a, b). When a == b the
 /// interval is the whole circle minus the point a itself.
-bool InIntervalOpenOpen(ChordId x, ChordId a, ChordId b);
+inline bool InIntervalOpenOpen(ChordId x, ChordId a, ChordId b) {
+  if (a == b) return x != a;  // full circle minus the endpoint
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;  // wrapped
+}
 
 /// Clockwise distance from `from` to `to` (0 when equal).
-ChordId RingDistance(ChordId from, ChordId to);
+inline ChordId RingDistance(ChordId from, ChordId to) {
+  return to - from;  // modular arithmetic of unsigned types
+}
 
 /// Hashes an arbitrary name onto the ring (used by Squirrel for object home
 /// nodes and for hashing peer identities).

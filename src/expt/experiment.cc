@@ -1,5 +1,6 @@
 #include "expt/experiment.h"
 
+#include <chrono>
 #include <memory>
 
 #include "chaos/engine.h"
@@ -20,6 +21,7 @@ const char* SystemKindName(SystemKind kind) {
 ExperimentResult RunExperiment(
     const ExperimentConfig& config, SystemKind kind,
     const std::function<void(SimTime now, SimTime total)>& progress) {
+  const auto wall_start = std::chrono::steady_clock::now();
   ExperimentEnv env(config);
   TrafficSampler traffic_sampler(&env.sim(), &env.network(),
                                  config.stats_interval);
@@ -67,10 +69,25 @@ ExperimentResult RunExperiment(
     if (progress) progress(t, config.duration);
   }
   env.sim().RunUntil(config.duration);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Kernel counters into the registry so they ride the exported counters
+  // array. Both are deterministic (identical across kernels and --jobs);
+  // the wall-clock rate deliberately stays out of the registry and lives
+  // in the (non-exported-by-default) timing fields below.
+  env.stats().counter("sim.events_executed")
+      ->Add(env.sim().events_processed());
+  env.stats().counter("sim.events_cancelled")
+      ->Add(env.sim().events_cancelled());
 
   ExperimentResult result;
   result.system = kind;
   result.target_population = config.target_population;
+  result.kernel = config.kernel;
+  result.wall_seconds = wall_seconds;
 
   const MetricsCollector& metrics = env.metrics();
   result.hit_ratio = metrics.HitRatio();
@@ -98,6 +115,7 @@ ExperimentResult RunExperiment(
   result.churn_failures = env.churn().total_failures();
   result.final_population = env.network().alive_count();
   result.events_processed = env.sim().events_processed();
+  result.events_cancelled = env.sim().events_cancelled();
 
   if (flower != nullptr) {
     result.flower_stats = flower->ComputeStats();

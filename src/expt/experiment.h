@@ -60,6 +60,20 @@ struct ExperimentResult {
   uint64_t churn_failures = 0;
   size_t final_population = 0;
   uint64_t events_processed = 0;
+  uint64_t events_cancelled = 0;
+
+  // --- Kernel timing (nondeterministic; never in default JSON) --------------
+  /// Scheduler backend the trial ran on.
+  KernelKind kernel = KernelKind::kLadder;
+  /// Wall-clock seconds from environment construction to the last event.
+  /// Varies run to run, so json_export only emits it behind --json-timing;
+  /// the deterministic outputs (counters, metrics) never depend on it.
+  double wall_seconds = 0;
+  double EventsPerWallSecond() const {
+    return wall_seconds > 0 ? static_cast<double>(events_processed) /
+                                  wall_seconds
+                            : 0;
+  }
 
   // Flower-specific protocol stats (zeroed for Squirrel runs).
   FlowerSystem::Stats flower_stats;

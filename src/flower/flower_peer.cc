@@ -47,6 +47,11 @@ FlowerPeer::FlowerPeer(const FlowerContext& ctx, PeerId self,
   FLOWERCDN_CHECK(ctx.params != nullptr);
   FLOWERCDN_CHECK(ctx.keyspace != nullptr);
   FLOWERCDN_CHECK(store != nullptr);
+  if (ctx_.stats != nullptr) {
+    gossip_rounds_counter_ = ctx_.stats->counter("flower.gossip.rounds");
+    keepalive_rounds_counter_ = ctx_.stats->counter("flower.keepalive.rounds");
+    push_rounds_counter_ = ctx_.stats->counter("flower.push.rounds");
+  }
 }
 
 // --- Common plumbing ---------------------------------------------------------
@@ -625,7 +630,7 @@ void FlowerPeer::ScheduleGossip(SimDuration delay) {
 }
 
 void FlowerPeer::GossipRound() {
-  CountEvent("flower.gossip.rounds");
+  if (gossip_rounds_counter_ != nullptr) gossip_rounds_counter_->Add();
   view_.AgeAll();
   ++dir_info_.age;
   std::optional<Contact> partner = view_.Oldest();
@@ -661,7 +666,7 @@ void FlowerPeer::ScheduleKeepalive(SimDuration delay) {
 }
 
 void FlowerPeer::KeepaliveRound() {
-  CountEvent("flower.keepalive.rounds");
+  if (keepalive_rounds_counter_ != nullptr) keepalive_rounds_counter_->Add();
   if (dir_info_.dir == kInvalidPeer) {
     AttemptDirectoryClaim(dir_info_.instance);
     return;
@@ -697,7 +702,7 @@ void FlowerPeer::DoPush() {
   if (role_ != FlowerRole::kContentPeer) return;
   if (dir_info_.dir == kInvalidPeer || push_in_flight_) return;
   push_in_flight_ = true;
-  CountEvent("flower.push.rounds");
+  if (push_rounds_counter_ != nullptr) push_rounds_counter_->Add();
   auto msg = std::make_unique<FlowerPushMsg>();
   msg->objects = store_->ObjectList();
   rpc_.Call(dir_info_.dir, std::move(msg), ctx_.params->rpc_timeout,

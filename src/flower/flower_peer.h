@@ -268,6 +268,14 @@ class FlowerPeer : public SimNode {
   ContentStore* store_;
   Rng rng_;
 
+  // Round counters fire once per maintenance period on every content peer,
+  // so the registry's by-name map lookup is cached away up front (counter
+  // pointers are stable for the registry's lifetime). Null when no stats
+  // registry is attached.
+  StatsCounter* gossip_rounds_counter_ = nullptr;
+  StatsCounter* keepalive_rounds_counter_ = nullptr;
+  StatsCounter* push_rounds_counter_ = nullptr;
+
   FlowerRole role_ = FlowerRole::kClient;
   int instance_ = 0;
   std::unique_ptr<ChordNode> chord_;

@@ -311,7 +311,7 @@ void WriteChaos(JsonWriter& w, const ChaosReport& c) {
 }
 
 void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
-                size_t trial) {
+                size_t trial, bool include_timing) {
   w.BeginObject();
   w.Key("trial").Value(trial);
   w.Key("seed").Value(seed);
@@ -328,6 +328,17 @@ void WriteTrial(JsonWriter& w, const ExperimentResult& r, uint64_t seed,
   w.Key("churn_failures").Value(r.churn_failures);
   w.Key("final_population").Value(static_cast<uint64_t>(r.final_population));
   w.Key("events_processed").Value(r.events_processed);
+  w.Key("events_cancelled").Value(r.events_cancelled);
+  if (include_timing) {
+    // Nondeterministic block, emitted only on request (--json-timing):
+    // wall time varies run to run, and the runner's byte-identical
+    // guarantee covers only the default document.
+    w.Key("timing").BeginObject();
+    w.Key("kernel").Value(KernelKindName(r.kernel));
+    w.Key("wall_seconds").Value(r.wall_seconds);
+    w.Key("events_per_wall_second").Value(r.EventsPerWallSecond());
+    w.EndObject();
+  }
   w.Key("cumulative_hit_ratio").BeginArray();
   for (double v : r.cumulative_hit_ratio) w.Value(v);
   w.EndArray();
@@ -412,7 +423,7 @@ void WriteAggregate(JsonWriter& w, const AggregateResult& a) {
 
 void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     const std::vector<CellResult>& cells,
-                    bool include_trials) {
+                    bool include_trials, bool include_timing) {
   JsonWriter w(os);
   w.BeginObject();
   w.Key("schema").Value("flowercdn-runner/v4");
@@ -431,6 +442,10 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
     w.Key("churn").Value(cell.config.churn_enabled);
     w.Key("scenario").Value(cell.config.chaos.name);
     w.Key("wire_mode").Value(WireModeName(cell.config.wire_mode));
+    // Deliberately no "kernel" key here: the default document must be
+    // byte-identical between --kernel=heap and --kernel=ladder, which is
+    // the cross-check that the ladder queue reproduces heap ordering. The
+    // kernel name appears in the opt-in "timing" block instead.
     w.Key("aggregate");
     WriteAggregate(w, cell.aggregate);
     if (include_trials) {
@@ -439,7 +454,8 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
         // Re-derive rather than store: the seed is a pure function of
         // (base_seed, trial), which also documents the derivation in the
         // output.
-        WriteTrial(w, cell.trials[t], DeriveTrialSeed(base_seed, t), t);
+        WriteTrial(w, cell.trials[t], DeriveTrialSeed(base_seed, t), t,
+                   include_timing);
       }
       w.EndArray();
     }
@@ -452,20 +468,20 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
 
 std::string SweepJsonString(uint64_t base_seed,
                             const std::vector<CellResult>& cells,
-                            bool include_trials) {
+                            bool include_trials, bool include_timing) {
   std::ostringstream os;
-  WriteSweepJson(os, base_seed, cells, include_trials);
+  WriteSweepJson(os, base_seed, cells, include_trials, include_timing);
   return os.str();
 }
 
 Status WriteSweepJsonFile(const std::string& path, uint64_t base_seed,
                           const std::vector<CellResult>& cells,
-                          bool include_trials) {
+                          bool include_trials, bool include_timing) {
   std::ofstream out(path);
   if (!out) {
     return Status(StatusCode::kUnavailable, "cannot open " + path);
   }
-  WriteSweepJson(out, base_seed, cells, include_trials);
+  WriteSweepJson(out, base_seed, cells, include_trials, include_timing);
   out.flush();
   if (!out) {
     return Status(StatusCode::kUnavailable, "write failed: " + path);

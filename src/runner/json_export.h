@@ -48,19 +48,24 @@ class JsonWriter {
 /// Serializes a full sweep: metadata, one entry per cell with its
 /// aggregate, and (optionally) every per-trial result. Layout documented
 /// in EXPERIMENTS.md ("Runner JSON schema").
+///
+/// `include_timing` adds a per-trial "timing" object (kernel, wall
+/// seconds, events per wall second). Off by default because wall time is
+/// nondeterministic — with it off, equal simulations yield byte-equal
+/// documents at any --jobs and under either kernel.
 void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     const std::vector<CellResult>& cells,
-                    bool include_trials);
+                    bool include_trials, bool include_timing = false);
 
 /// Same, returned as a string (tests compare these byte-for-byte).
 std::string SweepJsonString(uint64_t base_seed,
                             const std::vector<CellResult>& cells,
-                            bool include_trials);
+                            bool include_trials, bool include_timing = false);
 
 /// Writes the document to `path` (kUnavailable on I/O failure).
 Status WriteSweepJsonFile(const std::string& path, uint64_t base_seed,
                           const std::vector<CellResult>& cells,
-                          bool include_trials);
+                          bool include_trials, bool include_timing = false);
 
 }  // namespace flowercdn
 

@@ -1,13 +1,14 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace flowercdn {
 
-EventId EventQueue::Push(SimTime when, EventFn fn) {
+EventId EventQueue::Push(SimTime when, EventFn fn, EventGuard guard) {
   EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(fn)});
+  heap_.push_back(Entry{when, id, std::move(fn), guard});
   pending_.insert(id);
   SiftUp(heap_.size() - 1);
   return id;
@@ -16,7 +17,31 @@ EventId EventQueue::Push(SimTime when, EventFn fn) {
 void EventQueue::Cancel(EventId id) {
   // Cancelling an already-fired (or never-issued) id is a harmless no-op;
   // only ids still pending are tombstoned.
-  if (pending_.erase(id) > 0) cancelled_.insert(id);
+  if (pending_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  ++cancelled_total_;
+  // Tombstones deep in the heap only reclaim when they surface at the
+  // root; under churn-heavy cancel patterns (every timer rescheduled each
+  // round) that backlog can exceed the live set many times over. Rebuild
+  // once tombstones outnumber half the live events — amortized O(1) per
+  // cancel, and keeps memory proportional to live work.
+  if (cancelled_.size() > 64 && cancelled_.size() > pending_.size() / 2) {
+    PurgeCancelled();
+  }
+}
+
+void EventQueue::PurgeCancelled() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return cancelled_.count(e.id) > 0;
+                             }),
+              heap_.end());
+  cancelled_.clear();
+  // Re-heapify bottom-up (Floyd); ordering is fully determined by
+  // (when, id) so the rebuild cannot perturb pop order.
+  if (heap_.size() > 1) {
+    for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
 }
 
 void EventQueue::DropCancelledTop() {
@@ -42,10 +67,11 @@ SimTime EventQueue::NextTime() const {
   return heap_.front().when;
 }
 
-EventFn EventQueue::Pop(SimTime* when) {
+EventFn EventQueue::Pop(SimTime* when, EventGuard* guard) {
   DropCancelledTop();
   assert(!heap_.empty());
   *when = heap_.front().when;
+  if (guard != nullptr) *guard = heap_.front().guard;
   pending_.erase(heap_.front().id);
   EventFn fn = std::move(heap_.front().fn);
   heap_.front() = std::move(heap_.back());

@@ -2,23 +2,20 @@
 #define FLOWERCDN_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
+#include "simcore/scheduler.h"
 #include "sim/types.h"
 #include "util/function.h"
 
 namespace flowercdn {
 
-/// Handle for a scheduled event; usable to cancel it before it fires.
-using EventId = uint64_t;
-
-constexpr EventId kInvalidEvent = 0;
-
 /// Min-heap of timed callbacks with stable FIFO ordering for equal
-/// timestamps and O(1) lazy cancellation. This is the core of the
-/// discrete-event kernel (the PeerSim-equivalent substrate).
+/// timestamps and O(1) lazy cancellation. This was the original core of
+/// the discrete-event kernel; it is kept as the reference baseline behind
+/// `--kernel=heap` (the simcore LadderQueue is the default kernel and
+/// reproduces this queue's ordering exactly).
 ///
 /// Implemented as a hand-rolled binary heap so that callbacks can be moved
 /// out on Pop() and cancelled entries dropped lazily.
@@ -29,7 +26,11 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Enqueues `fn` to fire at absolute time `when`. Returns a cancellable id.
-  EventId Push(SimTime when, EventFn fn);
+  EventId Push(SimTime when, EventFn fn) {
+    return Push(when, std::move(fn), EventGuard{});
+  }
+  /// Same, with a liveness guard stored alongside the callback.
+  EventId Push(SimTime when, EventFn fn, EventGuard guard);
 
   /// Marks an event as cancelled; it is skipped when reached. Cancelling an
   /// already-fired or unknown id is a no-op.
@@ -42,17 +43,26 @@ class EventQueue {
   SimTime NextTime() const;
 
   /// Pops the earliest live event, returning its callback and storing its
-  /// firing time in `*when`. Must not be called when Empty().
-  EventFn Pop(SimTime* when);
+  /// firing time in `*when` (and its guard in `*guard` when non-null).
+  /// Must not be called when Empty().
+  EventFn Pop(SimTime* when) { return Pop(when, nullptr); }
+  EventFn Pop(SimTime* when, EventGuard* guard);
 
   /// Number of live events.
   size_t Size() const { return pending_.size(); }
+
+  /// Cancelled entries still buried in the heap awaiting reclamation.
+  size_t cancelled_backlog() const { return cancelled_.size(); }
+
+  /// Live -> cancelled transitions so far.
+  uint64_t cancelled_total() const { return cancelled_total_; }
 
  private:
   struct Entry {
     SimTime when;
     EventId id;  // doubles as insertion sequence for FIFO tie-break
     EventFn fn;
+    EventGuard guard;
   };
 
   /// a fires strictly before b.
@@ -65,11 +75,17 @@ class EventQueue {
   void SiftDown(size_t i);
   /// Removes cancelled entries sitting at the heap root.
   void DropCancelledTop();
+  /// Rebuilds the heap without its cancelled entries. Called when
+  /// tombstones outnumber half the live events, so churn-heavy runs (many
+  /// cancels deep in the heap that would otherwise only reclaim on
+  /// reaching the root) can't grow the bookkeeping without bound.
+  void PurgeCancelled();
 
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;    // pushed, not yet fired/cancelled
   std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
   EventId next_id_ = 1;
+  uint64_t cancelled_total_ = 0;
 };
 
 }  // namespace flowercdn

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 
+#include "simcore/message_pool.h"
 #include "sim/types.h"
 
 namespace flowercdn {
@@ -46,6 +48,16 @@ struct TraceContext {
 /// can operate on any message uniformly.
 struct Message {
   virtual ~Message() = default;
+
+  /// Messages allocate from the simcore thread-local pool: they are the
+  /// highest-churn heap objects in a trial (one per Send), small, and
+  /// confined to the worker thread running the trial. The sized delete —
+  /// exact thanks to the virtual destructor — lets freed blocks return to
+  /// their size-class freelist without a header.
+  static void* operator new(size_t size) { return PooledAlloc(size); }
+  static void operator delete(void* p, size_t size) noexcept {
+    PooledFree(p, size);
+  }
 
   /// Estimated wire size in bytes (headers + payload) — drives the
   /// network's traffic accounting. Subclasses add their payload on top of

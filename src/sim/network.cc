@@ -36,19 +36,24 @@ Transport* Network::transport() const { return transport_; }
 
 void Network::RegisterIdentity(PeerId peer, Coord coord) {
   FLOWERCDN_CHECK(peer != kInvalidPeer);
-  auto [it, inserted] = identities_.emplace(peer, IdentityState{});
-  FLOWERCDN_CHECK(inserted) << "identity " << peer << " already registered";
-  it->second.coord = coord;
+  FLOWERCDN_CHECK(!Registered(peer))
+      << "identity " << peer << " already registered";
+  if (peer >= registered_.size()) {
+    const size_t n = static_cast<size_t>(peer) + 1;
+    coords_.resize(n);
+    nodes_.resize(n, nullptr);
+    incarnations_.resize(n, 0);
+    registered_.resize(n, 0);
+  }
+  registered_[peer] = 1;
+  coords_[peer] = coord;
 }
 
-bool Network::HasIdentity(PeerId peer) const {
-  return identities_.count(peer) > 0;
-}
+bool Network::HasIdentity(PeerId peer) const { return Registered(peer); }
 
 Coord Network::CoordOf(PeerId peer) const {
-  auto it = identities_.find(peer);
-  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
-  return it->second.coord;
+  FLOWERCDN_CHECK(Registered(peer)) << "unknown identity " << peer;
+  return coords_[peer];
 }
 
 LocalityId Network::LocalityOf(PeerId peer) const {
@@ -62,33 +67,28 @@ double Network::LatencyMs(PeerId a, PeerId b) const {
 
 Incarnation Network::Attach(PeerId peer, SimNode* node) {
   FLOWERCDN_CHECK(node != nullptr);
-  auto it = identities_.find(peer);
-  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
-  FLOWERCDN_CHECK(it->second.node == nullptr)
+  FLOWERCDN_CHECK(Registered(peer)) << "unknown identity " << peer;
+  FLOWERCDN_CHECK(nodes_[peer] == nullptr)
       << "peer " << peer << " already attached";
-  it->second.node = node;
-  ++it->second.incarnation;
+  nodes_[peer] = node;
   ++alive_count_;
-  return it->second.incarnation;
+  return ++incarnations_[peer];
 }
 
 void Network::Detach(PeerId peer) {
-  auto it = identities_.find(peer);
-  FLOWERCDN_CHECK(it != identities_.end()) << "unknown identity " << peer;
-  FLOWERCDN_CHECK(it->second.node != nullptr)
-      << "peer " << peer << " not attached";
-  it->second.node = nullptr;
+  FLOWERCDN_CHECK(Registered(peer)) << "unknown identity " << peer;
+  FLOWERCDN_CHECK(nodes_[peer] != nullptr) << "peer " << peer
+                                           << " not attached";
+  nodes_[peer] = nullptr;
   --alive_count_;
 }
 
 bool Network::IsAlive(PeerId peer) const {
-  auto it = identities_.find(peer);
-  return it != identities_.end() && it->second.node != nullptr;
+  return peer < nodes_.size() && nodes_[peer] != nullptr;
 }
 
 Incarnation Network::IncarnationOf(PeerId peer) const {
-  auto it = identities_.find(peer);
-  return it == identities_.end() ? 0 : it->second.incarnation;
+  return peer < incarnations_.size() ? incarnations_[peer] : 0;
 }
 
 void Network::Send(PeerId src, PeerId dst, MessagePtr msg) {
@@ -152,8 +152,7 @@ void Network::Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
   sim_->Schedule(
       latency,
       [this, dst, size, msg = std::move(msg)]() mutable {
-        auto it = identities_.find(dst);
-        if (it == identities_.end() || it->second.node == nullptr) {
+        if (!IsAlive(dst)) {
           ++messages_dropped_;  // receiver failed mid-flight
           ++traffic_.dropped.messages;
           traffic_.dropped.bytes += size;
@@ -171,7 +170,7 @@ void Network::Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
         // Everything the handler sends (responses, forwards, follow-up
         // queries) inherits the delivered message's trace context.
         NetworkTraceScope scope(this, msg->trace);
-        it->second.node->HandleMessage(std::move(msg));
+        nodes_[dst]->HandleMessage(std::move(msg));
       });
 }
 
@@ -182,18 +181,20 @@ void Network::NoteTransportDrop(const Message& msg, size_t accounted_bytes) {
   traffic_.transport_drop.bytes += accounted_bytes;
 }
 
+bool Network::PeerGuardCheck(void* ctx, PeerId peer, Incarnation inc) {
+  auto* network = static_cast<Network*>(ctx);
+  return network->IsAlive(peer) && network->incarnations_[peer] == inc;
+}
+
 EventId Network::SchedulePeer(PeerId peer, Incarnation inc, SimDuration delay,
                               EventFn fn) {
-  return sim_->Schedule(delay,
-                        [this, peer, inc, fn = std::move(fn)]() mutable {
-                          auto it = identities_.find(peer);
-                          if (it == identities_.end() ||
-                              it->second.node == nullptr ||
-                              it->second.incarnation != inc) {
-                            return;  // stale timer suppressed
-                          }
-                          fn();
-                        });
+  // The liveness check rides in the scheduler node's EventGuard rather
+  // than a wrapping lambda: a 64-byte EventFn capture can't nest inside
+  // another EventFn's inline buffer, so the old wrapper forced a heap
+  // allocation per protocol timer (millions per trial).
+  return sim_->ScheduleGuarded(
+      delay, EventGuard{&Network::PeerGuardCheck, this, peer, inc},
+      std::move(fn));
 }
 
 }  // namespace flowercdn

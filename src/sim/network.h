@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/message.h"
 #include "sim/node.h"
@@ -208,16 +208,17 @@ class Network {
   void NoteTransportDrop(const Message& msg, size_t accounted_bytes);
 
  private:
-  struct IdentityState {
-    Coord coord;
-    SimNode* node = nullptr;  // non-null iff alive
-    Incarnation incarnation = 0;
-  };
-
   /// Schedules one delivery of `msg` after `latency` ms. `accounted_bytes`
   /// is what Send() charged for the message (reused for drop accounting).
   void Deliver(PeerId dst, SimDuration latency, size_t accounted_bytes,
                MessagePtr msg);
+
+  /// EventGuard thunk behind SchedulePeer: ctx is the Network.
+  static bool PeerGuardCheck(void* ctx, PeerId peer, Incarnation inc);
+
+  bool Registered(PeerId peer) const {
+    return peer < registered_.size() && registered_[peer];
+  }
 
   Simulator* sim_;
   Topology* topology_;
@@ -226,7 +227,15 @@ class Network {
   std::unique_ptr<Transport> default_transport_;
   Transport* transport_ = nullptr;  // never null after construction
   size_t (*sizer_)(const Message&) = nullptr;  // null -> SizeBytes()
-  std::unordered_map<PeerId, IdentityState> identities_;
+  // Identity state in struct-of-arrays layout, indexed directly by PeerId
+  // (identities are dense small integers — the experiment env numbers them
+  // 1..universe). The alive/incarnation checks run on every delivery and
+  // every guarded timer, so each check touching one flat array instead of
+  // a hash bucket chain is a measurable kernel win.
+  std::vector<Coord> coords_;
+  std::vector<SimNode*> nodes_;        // non-null iff alive
+  std::vector<Incarnation> incarnations_;
+  std::vector<uint8_t> registered_;
   size_t alive_count_ = 0;
   uint64_t next_rpc_id_ = 1;
   uint64_t messages_sent_ = 0;

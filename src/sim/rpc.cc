@@ -14,13 +14,19 @@ RpcEndpoint::RpcEndpoint(Network* network, PeerId self)
 size_t RpcEndpoint::CancelAll() {
   size_t n = pending_.size();
   if (n == 0) return 0;
-  for (auto& [id, pending] : pending_) {
-    (void)id;
+  for (auto& pending : pending_) {
     network_->sim()->Cancel(pending.timeout_event);
   }
   pending_.clear();
   network_->NoteRpcCancelled(n);
   return n;
+}
+
+size_t RpcEndpoint::FindPending(uint64_t id) const {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].id == id) return i;
+  }
+  return static_cast<size_t>(-1);
 }
 
 uint64_t RpcEndpoint::Call(PeerId dst, MessagePtr request, SimDuration timeout,
@@ -33,15 +39,16 @@ uint64_t RpcEndpoint::Call(PeerId dst, MessagePtr request, SimDuration timeout,
 
   EventId timeout_event = network_->SchedulePeer(
       self_, incarnation_, timeout, [this, id, dst]() {
-        auto it = pending_.find(id);
-        if (it == pending_.end()) return;  // answered in time
-        ResponseHandler handler = std::move(it->second.handler);
-        pending_.erase(it);
+        size_t i = FindPending(id);
+        if (i == static_cast<size_t>(-1)) return;  // answered in time
+        ResponseHandler handler = std::move(pending_[i].handler);
+        if (i != pending_.size() - 1) pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
         handler(Status::TimedOut("rpc to peer " + std::to_string(dst)),
                 nullptr);
       });
 
-  pending_.emplace(id, Pending{std::move(handler), timeout_event});
+  pending_.push_back(Pending{id, std::move(handler), timeout_event});
   network_->Send(self_, dst, std::move(request));
   return id;
 }
@@ -49,15 +56,16 @@ uint64_t RpcEndpoint::Call(PeerId dst, MessagePtr request, SimDuration timeout,
 bool RpcEndpoint::HandleResponse(MessagePtr& msg) {
   FLOWERCDN_CHECK(msg != nullptr);
   if (!msg->is_response || msg->rpc_id == 0) return false;
-  auto it = pending_.find(msg->rpc_id);
-  if (it == pending_.end()) {
+  size_t i = FindPending(msg->rpc_id);
+  if (i == static_cast<size_t>(-1)) {
     // Not ours (another endpoint of the host) or late: the caller decides;
     // unclaimed responses are dropped by the host.
     return false;
   }
-  network_->sim()->Cancel(it->second.timeout_event);
-  ResponseHandler handler = std::move(it->second.handler);
-  pending_.erase(it);
+  network_->sim()->Cancel(pending_[i].timeout_event);
+  ResponseHandler handler = std::move(pending_[i].handler);
+  if (i != pending_.size() - 1) pending_[i] = std::move(pending_.back());
+  pending_.pop_back();
   if (msg->type == kTransportNack) {
     handler(Status::Unavailable("peer unreachable (transport nack)"),
             nullptr);

@@ -2,7 +2,7 @@
 #define FLOWERCDN_SIM_RPC_H_
 
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/message.h"
 #include "sim/network.h"
@@ -65,15 +65,23 @@ class RpcEndpoint {
   PeerId self() const { return self_; }
 
  private:
+  // A peer rarely has more than a handful of calls in flight, so the
+  // pending table is a flat vector scanned linearly — cheaper than a hash
+  // map at these sizes, and erase is swap-with-back (completion order
+  // carries no protocol meaning).
   struct Pending {
+    uint64_t id;
     ResponseHandler handler;
     EventId timeout_event;
   };
 
+  /// Index of rpc `id` in pending_, or SIZE_MAX.
+  size_t FindPending(uint64_t id) const;
+
   Network* network_;
   PeerId self_;
   Incarnation incarnation_ = 0;
-  std::unordered_map<uint64_t, Pending> pending_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace flowercdn

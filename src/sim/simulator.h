@@ -2,26 +2,34 @@
 #define FLOWERCDN_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <utility>
 
-#include "sim/event_queue.h"
+#include "simcore/scheduler.h"
 #include "sim/types.h"
 #include "util/logging.h"
 
 namespace flowercdn {
 
 /// Single-threaded discrete-event simulator: a virtual clock plus an event
-/// queue. All protocol activity (message deliveries, timers, churn) runs as
-/// events; between events no simulated time passes, which is exactly the
-/// PeerSim event-driven model the paper's evaluation uses.
+/// scheduler. All protocol activity (message deliveries, timers, churn)
+/// runs as events; between events no simulated time passes, which is
+/// exactly the PeerSim event-driven model the paper's evaluation uses.
+///
+/// The scheduler backend is selectable: the simcore ladder queue (default)
+/// or the legacy binary heap, kept as a cross-check baseline. Both pop
+/// events in identical (time, insertion) order, so the choice never
+/// changes simulation results — only wall-clock speed.
 class Simulator {
  public:
   /// Construction installs this simulator's clock as the thread's log time
   /// source, so log lines carry simulated time while the run is active.
-  Simulator();
+  explicit Simulator(KernelKind kernel = KernelKind::kLadder);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  KernelKind kernel() const { return kernel_; }
 
   /// Current simulated time.
   SimTime now() const { return now_; }
@@ -29,17 +37,27 @@ class Simulator {
   /// Schedules `fn` to run `delay` (>= 0) after now.
   EventId Schedule(SimDuration delay, EventFn fn) {
     FLOWERCDN_CHECK(delay >= 0) << "negative delay " << delay;
-    return queue_.Push(now_ + delay, std::move(fn));
+    return queue_->Push(now_ + delay, std::move(fn), EventGuard{});
   }
 
   /// Schedules `fn` at an absolute time (>= now).
   EventId ScheduleAt(SimTime when, EventFn fn) {
     FLOWERCDN_CHECK(when >= now_) << "schedule in the past";
-    return queue_.Push(when, std::move(fn));
+    return queue_->Push(when, std::move(fn), EventGuard{});
+  }
+
+  /// Schedules `fn` with a liveness guard evaluated at fire time: when the
+  /// guard check fails the callback is silently skipped (it still counts
+  /// as a processed event). The guard lives in the scheduler node, so —
+  /// unlike wrapping `fn` in a checking lambda — guarded timers cost no
+  /// extra allocation no matter how large `fn`'s captures are.
+  EventId ScheduleGuarded(SimDuration delay, EventGuard guard, EventFn fn) {
+    FLOWERCDN_CHECK(delay >= 0) << "negative delay " << delay;
+    return queue_->Push(now_ + delay, std::move(fn), guard);
   }
 
   /// Cancels a scheduled event (no-op if already fired).
-  void Cancel(EventId id) { queue_.Cancel(id); }
+  void Cancel(EventId id) { queue_->Cancel(id); }
 
   /// Processes events in timestamp order until the queue drains.
   void Run();
@@ -51,22 +69,26 @@ class Simulator {
   /// Processes at most one event; returns false if the queue was empty.
   bool Step();
 
-  /// Number of events dispatched so far.
+  /// Number of events dispatched so far (including guard-suppressed ones).
   uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of scheduled events cancelled before firing.
+  uint64_t events_cancelled() const { return queue_->cancelled_total(); }
 
   /// Timestamp of the earliest pending event, or -1 when the queue is
   /// empty. Lets a real-time pacer (src/net NodeHost) sleep in epoll for
   /// exactly the gap until the next due event instead of busy-stepping.
   SimTime NextEventTime() const {
-    return queue_.Empty() ? -1 : queue_.NextTime();
+    return queue_->Empty() ? -1 : queue_->NextTime();
   }
 
   /// Number of events currently pending.
-  size_t pending_events() const { return queue_.Size(); }
+  size_t pending_events() const { return queue_->Size(); }
 
  private:
   SimTime now_ = 0;
-  EventQueue queue_;
+  KernelKind kernel_;
+  std::unique_ptr<Scheduler> queue_;
   uint64_t events_processed_ = 0;
 };
 

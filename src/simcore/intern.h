@@ -1,0 +1,135 @@
+#ifndef FLOWERCDN_SIMCORE_INTERN_H_
+#define FLOWERCDN_SIMCORE_INTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace flowercdn {
+
+/// Dense string interner: maps each distinct name to a stable uint32
+/// handle (issued 0, 1, 2, ...) and back. Hot paths intern once at setup
+/// and then pass/compare handles instead of hashing strings per event.
+/// Interned strings are never freed; NameOf views stay valid for the
+/// table's lifetime.
+class InternTable {
+ public:
+  static constexpr uint32_t kInvalidHandle = 0xffffffffu;
+
+  InternTable() = default;
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+
+  /// Returns the handle for `name`, creating one on first use.
+  uint32_t Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const uint32_t handle = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);  // deque: stored string never moves
+    index_.emplace(names_.back(), handle);
+    return handle;
+  }
+
+  /// Returns the handle for `name`, or kInvalidHandle if never interned.
+  uint32_t Find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidHandle : it->second;
+  }
+
+  std::string_view NameOf(uint32_t handle) const { return names_[handle]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t, Hash> index_;
+};
+
+/// Insert-only open-addressing memo table from a packed 64-bit id to a
+/// 64-bit value — e.g. ObjectId -> Chord home key, so the per-query hot
+/// path skips building "http://wsN.example/objM" and hashing it every
+/// time. Linear probing, power-of-two capacity, grown at 70% load.
+class U64Memo {
+ public:
+  U64Memo() : keys_(kInitialCapacity, kEmptyKey), values_(kInitialCapacity) {}
+  U64Memo(const U64Memo&) = delete;
+  U64Memo& operator=(const U64Memo&) = delete;
+
+  /// Returns the memoized value for `key`, computing and storing it via
+  /// `compute()` on first sight.
+  template <typename F>
+  uint64_t GetOrCompute(uint64_t key, F&& compute) {
+    if (key == kEmptyKey) {  // the one key that can't live in the table
+      if (!has_sentinel_) {
+        sentinel_value_ = compute();
+        has_sentinel_ = true;
+      }
+      return sentinel_value_;
+    }
+    size_t i = Probe(key);
+    if (keys_[i] == key) return values_[i];
+    const uint64_t value = compute();
+    keys_[i] = key;
+    values_[i] = value;
+    if (++size_ * 10 > keys_.size() * 7) {
+      Grow();
+    }
+    return value;
+  }
+
+  size_t size() const { return size_ + (has_sentinel_ ? 1 : 0); }
+
+ private:
+  static constexpr uint64_t kEmptyKey = 0xffffffffffffffffull;
+  static constexpr size_t kInitialCapacity = 1024;
+
+  static uint64_t Mix(uint64_t x) {  // splitmix64 finalizer
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Index of `key`'s slot, or of the empty slot where it belongs.
+  size_t Probe(uint64_t key) const {
+    const size_t mask = keys_.size() - 1;
+    size_t i = static_cast<size_t>(Mix(key)) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint64_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, kEmptyKey);
+    values_.assign(old_keys.size() * 2, 0);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      const size_t j = Probe(old_keys[i]);
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> values_;
+  size_t size_ = 0;
+  bool has_sentinel_ = false;
+  uint64_t sentinel_value_ = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIMCORE_INTERN_H_

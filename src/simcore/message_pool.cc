@@ -1,0 +1,109 @@
+#include "simcore/message_pool.h"
+
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define FLOWERCDN_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FLOWERCDN_POOL_DISABLED 1
+#endif
+#endif
+
+namespace flowercdn {
+
+#ifdef FLOWERCDN_POOL_DISABLED
+
+void* PooledAlloc(size_t size) { return ::operator new(size); }
+void PooledFree(void* p, size_t) { ::operator delete(p); }
+MessagePoolStats ThreadMessagePoolStats() { return {}; }
+
+#else
+
+namespace {
+
+constexpr size_t kClassShift = 6;  // 64-byte classes
+constexpr size_t kClassSize = size_t{1} << kClassShift;
+constexpr size_t kNumClasses = 8;  // up to 512 bytes
+constexpr size_t kMaxPooled = kNumClasses * kClassSize;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ThreadPool {
+  FreeBlock* free_lists[kNumClasses] = {};
+  MessagePoolStats stats;
+
+  ~ThreadPool() {
+    // Return cached blocks; blocks still live in Messages are independent
+    // ::operator new allocations and are freed by their eventual delete.
+    for (FreeBlock*& head : free_lists) {
+      while (head != nullptr) {
+        FreeBlock* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+};
+
+// True once the thread's pool has been destroyed (thread teardown); late
+// frees must bypass the dead pool.
+thread_local bool pool_dead = false;
+
+struct PoolDeathWatch {
+  ~PoolDeathWatch() { pool_dead = true; }
+};
+
+ThreadPool& Pool() {
+  thread_local ThreadPool pool;
+  // Constructed after the pool, so destroyed first: pool_dead flips before
+  // the pool's storage goes away and late frees take the bypass path.
+  thread_local PoolDeathWatch watch;
+  return pool;
+}
+
+size_t ClassIndex(size_t size) { return (size - 1) >> kClassShift; }
+
+}  // namespace
+
+void* PooledAlloc(size_t size) {
+  if (size == 0) size = 1;
+  if (size > kMaxPooled || pool_dead) {
+    if (!pool_dead) ++Pool().stats.oversize;
+    return ::operator new(size);
+  }
+  ThreadPool& pool = Pool();
+  const size_t cls = ClassIndex(size);
+  ++pool.stats.allocs;
+  if (FreeBlock* head = pool.free_lists[cls]) {
+    pool.free_lists[cls] = head->next;
+    ++pool.stats.pool_hits;
+    return head;
+  }
+  return ::operator new((cls + 1) << kClassShift);
+}
+
+void PooledFree(void* p, size_t size) {
+  if (p == nullptr) return;
+  if (size == 0) size = 1;
+  if (size > kMaxPooled || pool_dead) {
+    ::operator delete(p);
+    return;
+  }
+  ThreadPool& pool = Pool();
+  const size_t cls = ClassIndex(size);
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = pool.free_lists[cls];
+  pool.free_lists[cls] = block;
+  ++pool.stats.frees;
+}
+
+MessagePoolStats ThreadMessagePoolStats() {
+  return pool_dead ? MessagePoolStats{} : Pool().stats;
+}
+
+#endif  // FLOWERCDN_POOL_DISABLED
+
+}  // namespace flowercdn

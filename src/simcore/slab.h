@@ -1,0 +1,87 @@
+#ifndef FLOWERCDN_SIMCORE_SLAB_H_
+#define FLOWERCDN_SIMCORE_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace flowercdn {
+
+/// Chunked slab of T with a freelist of 32-bit slot handles.
+///
+/// Designed for the event kernel's needs:
+///  * slots never move — T may hold self-referential or expensive-to-move
+///    state (the 64-byte EventFn closures that made binary-heap sifting
+///    expensive) and pointers into the slab stay valid across growth;
+///  * allocation is a freelist pop (or a bump into the newest chunk), so a
+///    simulation that schedules and retires millions of events per
+///    simulated hour reuses the same memory for the whole run instead of
+///    hammering malloc;
+///  * handles are dense uint32 indices, half the width of a pointer —
+///    bucket lists in the ladder queue link events by handle.
+///
+/// Slots are default-constructed when their chunk is created and stay
+/// constructed until the slab dies; Release() does not destroy the T, so
+/// callers that cache resources in freed slots (e.g. a closure's inline
+/// storage) must reset what they care about themselves.
+template <typename T, size_t kChunkShift = 12>
+class SlabArena {
+ public:
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Pops a free slot (allocating a new chunk when none is free).
+  uint32_t Acquire() {
+    if (free_head_ != kNilSlot) {
+      uint32_t slot = free_head_;
+      free_head_ = free_links_[slot];
+      --free_count_;
+      return slot;
+    }
+    size_t slot = size_;
+    if (slot >> kChunkShift >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+      free_links_.resize(free_links_.size() + kChunkSize, kNilSlot);
+    }
+    ++size_;
+    return static_cast<uint32_t>(slot);
+  }
+
+  /// Returns a slot to the freelist. The caller must not use it again
+  /// until re-acquired.
+  void Release(uint32_t slot) {
+    free_links_[slot] = free_head_;
+    free_head_ = slot;
+    ++free_count_;
+  }
+
+  T& operator[](uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  const T& operator[](uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  /// Slots handed out at least once (live + freed).
+  size_t size() const { return size_; }
+  /// Slots currently on the freelist.
+  size_t free_count() const { return free_count_; }
+  /// Slots currently in use.
+  size_t live_count() const { return size_ - free_count_; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<uint32_t> free_links_;  // freelist chain, parallel to slots
+  uint32_t free_head_ = kNilSlot;
+  size_t size_ = 0;
+  size_t free_count_ = 0;
+};
+
+}  // namespace flowercdn
+
+#endif  // FLOWERCDN_SIMCORE_SLAB_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "simcore/intern.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -14,6 +15,18 @@ namespace {
 /// re-joining peer reclaims the same position.
 ChordId SquirrelRingId(PeerId peer) {
   return ChordHash("squirrel-peer-" + std::to_string(peer));
+}
+
+/// HomeKey() builds a synthetic URL string and hashes it; queries revisit a
+/// small hot set of objects millions of times per trial, so the pure
+/// ObjectId -> ring-key mapping is memoized. Thread-local because trials
+/// run on worker threads; the mapping is identical on every thread, so
+/// sharing is unnecessary and determinism is unaffected.
+ChordId CachedHomeKey(const ObjectId& object) {
+  static thread_local U64Memo memo;
+  return static_cast<ChordId>(memo.GetOrCompute(
+      object.Packed(),
+      [&object] { return static_cast<uint64_t>(object.HomeKey()); }));
 }
 
 }  // namespace
@@ -108,7 +121,7 @@ void SquirrelPeer::IssueQuery() {
   SimTime t0 = ctx_.network->sim()->now();
   // Squirrel resolves every query through the object's home node, found by
   // routing hash(url) over the whole DHT.
-  chord_.Lookup(object->HomeKey(),
+  chord_.Lookup(CachedHomeKey(*object),
                 [this, object = *object, t0](const Status& status,
                                              RingPeer home, int /*hops*/) {
                   OnHomeResolved(object, t0, status, home);
@@ -283,7 +296,7 @@ void SquirrelPeer::HandoffToNewPredecessor(
   auto msg = std::make_unique<SquirrelHandoffMsg>();
   for (auto it = directory_.begin(); it != directory_.end();) {
     ObjectId object = ObjectId::FromPacked(it->first);
-    if (!InIntervalOpenClosed(object.HomeKey(), fresh.id,
+    if (!InIntervalOpenClosed(CachedHomeKey(object), fresh.id,
                               chord_.id())) {
       SquirrelHandoffMsg::Entry entry;
       entry.object = object;
@@ -296,7 +309,7 @@ void SquirrelPeer::HandoffToNewPredecessor(
   }
   for (auto it = home_store_.begin(); it != home_store_.end();) {
     ObjectId object = ObjectId::FromPacked(*it);
-    if (!InIntervalOpenClosed(object.HomeKey(), fresh.id, chord_.id())) {
+    if (!InIntervalOpenClosed(CachedHomeKey(object), fresh.id, chord_.id())) {
       SquirrelHandoffMsg::Entry entry;
       entry.object = object;
       entry.stored_copy = true;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/random.h"
@@ -102,6 +103,39 @@ TEST(EventQueueTest, StressRandomOrderStaysSorted) {
     ++popped;
   }
   EXPECT_EQ(popped, 5000u - (ids.size() + 2) / 3);
+}
+
+// Regression: a workload that keeps cancelling and re-arming timers (the
+// RPC-timeout pattern) must not grow the cancelled-id bookkeeping without
+// bound — the queue rebuilds once tombstones outnumber half the live heap.
+TEST(EventQueueTest, ChurnHeavyCancelKeepsBookkeepingBounded) {
+  EventQueue q;
+  Rng rng(5);
+  // A standing population of long-lived timers.
+  for (int i = 0; i < 64; ++i) {
+    q.Push(1000000 + i, [] {});
+  }
+  size_t max_backlog = 0;
+  uint64_t expected_cancels = 0;
+  for (int round = 0; round < 20000; ++round) {
+    EventId id = q.Push(static_cast<SimTime>(1000 + round), [] {});
+    q.Cancel(id);  // armed and immediately cancelled, like a fast RPC ack
+    ++expected_cancels;
+    max_backlog = std::max(max_backlog, q.cancelled_backlog());
+  }
+  // Tombstones never exceed the purge threshold bound: the rebuild fires at
+  // cancelled > max(64, live/2), and live stays at 64 here.
+  EXPECT_LE(max_backlog, 128u);
+  EXPECT_EQ(q.cancelled_total(), expected_cancels);
+  EXPECT_EQ(q.Size(), 64u);
+  // Everything that survives still pops in order.
+  SimTime last = -1;
+  while (!q.Empty()) {
+    SimTime when;
+    q.Pop(&when);
+    EXPECT_GE(when, last);
+    last = when;
+  }
 }
 
 }  // namespace

@@ -37,6 +37,9 @@ void Usage(const char* argv0) {
                "  --wire=modeled|encoded traffic sizing: SizeBytes()\n"
                "                        estimates or actual src/wire encoded\n"
                "                        lengths (default modeled)\n"
+               "  --kernel=ladder|heap  event-scheduler backend (default\n"
+               "                        ladder; heap is the legacy baseline —\n"
+               "                        results are byte-identical)\n"
                "  --no-churn            disable failures\n"
                "  --no-retain-cache     clear browser caches on re-join\n"
                "  --collab              enable directory collaboration (§3.2)\n"
@@ -55,6 +58,9 @@ void Usage(const char* argv0) {
                "  --json-out=PATH       write runner JSON (per-trial + "
                "aggregate)\n"
                "  --json-aggregate-only omit per-trial results from the JSON\n"
+               "  --json-timing         add a per-trial \"timing\" object\n"
+               "                        (kernel, wall seconds, events/sec) —\n"
+               "                        nondeterministic, so off by default\n"
                "  --trace-out=PATH      record query-lifecycle spans and "
                "write\n"
                "                        Chrome trace-event JSON "
@@ -73,6 +79,19 @@ bool ParseFlag(const char* arg, const char* name, long long* out) {
   size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
   *out = atoll(arg + len + 1);
+  return true;
+}
+
+/// Like ParseFlag, but the value must be a positive integer; prints a
+/// one-line error and exits the process otherwise. Guards the flags where
+/// zero or a negative would silently run an empty simulation.
+bool ParsePositiveFlag(const char* arg, const char* name, long long* out) {
+  if (!ParseFlag(arg, name, out)) return false;
+  if (*out < 1) {
+    std::fprintf(stderr, "%s must be a positive integer (got %s)\n", name,
+                 arg + std::strlen(name) + 1);
+    std::exit(2);
+  }
   return true;
 }
 
@@ -159,6 +178,11 @@ void PrintSingleRunTable(const CellResult& cell) {
   table.AddRow({"churn arrivals", std::to_string(r.churn_arrivals)});
   table.AddRow({"churn failures", std::to_string(r.churn_failures)});
   table.AddRow({"sim events", std::to_string(r.events_processed)});
+  table.AddRow({"sim events cancelled", std::to_string(r.events_cancelled)});
+  table.AddRow({"kernel", KernelKindName(r.kernel)});
+  table.AddRow({"trial wall (s)", FormatDouble(r.wall_seconds, 2)});
+  table.AddRow({"events/sec (wall)",
+                FormatDouble(r.EventsPerWallSecond(), 0)});
   if (cell.kind == SystemKind::kFlowerCdn) {
     table.AddRow({"directory failovers",
                   std::to_string(r.flower_stats.dir_failures_detected)});
@@ -313,6 +337,7 @@ int main(int argc, char** argv) {
   std::string json_out;
   std::string trace_out;
   bool json_include_trials = true;
+  bool json_timing = false;
   long long trials = 1;
   long long jobs = 0;
   bool quiet = false;
@@ -326,9 +351,9 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
-    } else if (ParseFlag(arg, "--population", &value)) {
+    } else if (ParsePositiveFlag(arg, "--population", &value)) {
       config.target_population = static_cast<size_t>(value);
-    } else if (ParseFlag(arg, "--hours", &value)) {
+    } else if (ParsePositiveFlag(arg, "--hours", &value)) {
       config.duration = value * kHour;
     } else if (ParseFlag(arg, "--seed", &value)) {
       config.seed = static_cast<uint64_t>(value);
@@ -354,6 +379,15 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (std::strncmp(arg, "--kernel=", 9) == 0) {
+      KernelKind kernel;
+      if (!ParseKernelKind(arg + 9, &kernel)) {
+        std::fprintf(stderr,
+                     "unknown --kernel value '%s' (expected heap or ladder)\n",
+                     arg + 9);
+        return 2;
+      }
+      config.kernel = kernel;
     } else if (std::strcmp(arg, "--no-churn") == 0) {
       config.churn_enabled = false;
     } else if (std::strcmp(arg, "--no-retain-cache") == 0) {
@@ -362,11 +396,7 @@ int main(int argc, char** argv) {
       config.flower.enable_dir_collaboration = true;
     } else if (std::strcmp(arg, "--no-petalup") == 0) {
       config.flower.petalup_enabled = false;
-    } else if (ParseFlag(arg, "--trials", &value)) {
-      if (value < 1) {
-        Usage(argv[0]);
-        return 2;
-      }
+    } else if (ParsePositiveFlag(arg, "--trials", &value)) {
       trials = value;
     } else if (ParseFlag(arg, "--jobs", &value)) {
       if (value < 0) {
@@ -391,6 +421,8 @@ int main(int argc, char** argv) {
       config.stats_interval = value * kMinute;
     } else if (std::strcmp(arg, "--json-aggregate-only") == 0) {
       json_include_trials = false;
+    } else if (std::strcmp(arg, "--json-timing") == 0) {
+      json_timing = true;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       csv_prefix = arg + 6;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -486,7 +518,7 @@ int main(int argc, char** argv) {
 
   if (!json_out.empty()) {
     Status s = WriteSweepJsonFile(json_out, sweep.base_seed, cells,
-                                  json_include_trials);
+                                  json_include_trials, json_timing);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
