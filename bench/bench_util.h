@@ -24,6 +24,8 @@ namespace bench {
 ///                    per-trial seeds derive from the base seed
 ///   --jobs=J         runner worker threads (default: all cores)
 ///   --json-out=PATH  write the runner JSON document
+///   --replication=K  Flower directory replication factor (default 1)
+///   --quick          CI-sized run: small population, short duration
 /// Unknown flags abort with a usage message.
 struct BenchArgs {
   SimDuration duration = 24 * kHour;
@@ -31,6 +33,8 @@ struct BenchArgs {
   uint64_t seed = 42;
   size_t trials = 1;
   size_t jobs = 0;
+  int replication = 1;
+  bool quick = false;
   std::string json_out;
 
   static BenchArgs Parse(int argc, char** argv, size_t default_population) {
@@ -51,10 +55,16 @@ struct BenchArgs {
         args.jobs = static_cast<size_t>(atoll(arg + 7));
       } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
         args.json_out = arg + 11;
+      } else if (std::strncmp(arg, "--replication=", 14) == 0) {
+        args.replication = static_cast<int>(atoll(arg + 14));
+        if (args.replication < 1) args.replication = 1;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        args.quick = true;
       } else {
         std::fprintf(stderr,
                      "usage: %s [--hours=N] [--population=P] [--seed=S] "
-                     "[--trials=N] [--jobs=J] [--json-out=PATH]\n",
+                     "[--trials=N] [--jobs=J] [--json-out=PATH] "
+                     "[--replication=K] [--quick]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -67,6 +77,7 @@ struct BenchArgs {
     config.seed = seed;
     config.target_population = population;
     config.duration = duration;
+    config.flower.replication = replication;
     return config;
   }
 

@@ -9,10 +9,12 @@ Validates that
     single-process export (pid 1) and a cluster rank's export (pid
     rank+1, may carry zero-duration "remote" spans tagged with a
     trace_id), and
-  * a --json-out file follows the flowercdn-runner/v4 schema, in
+  * a --json-out file follows the flowercdn-runner/v5 schema, in
     particular the per-trial "overhead", "overlay" and "chaos" sections
-    and the per-cell "wire_mode" label (v4 added the "nack" traffic
-    family and the wire_mode cell key), and
+    and the per-cell "wire_mode"/"replication" labels (v4 added the
+    "nack" traffic family and the wire_mode cell key; v5 added the
+    replication cell key and a null — never fake-zero — aggregate
+    replacement latency when no kill was ever replaced), and
   * a /metrics scrape is Prometheus text exposition carrying the
     promised flowercdn_* families; given two scrapes of the same rank,
     every counter must be monotone between them.
@@ -227,9 +229,9 @@ def check_trial(trial, where):
 def check_runner(path, expect_chaos=False):
     with open(path) as f:
         doc = json.load(f)
-    require(doc.get("schema") == "flowercdn-runner/v4",
+    require(doc.get("schema") == "flowercdn-runner/v5",
             f"runner: schema is {doc.get('schema')!r}, "
-            f"want flowercdn-runner/v4")
+            f"want flowercdn-runner/v5")
     cells = doc.get("cells")
     require(isinstance(cells, list) and cells, "runner: no cells")
     n_trials = 0
@@ -240,6 +242,19 @@ def check_runner(path, expect_chaos=False):
         require(cell.get("wire_mode") in WIRE_MODES,
                 f'runner: cell {ci} "wire_mode" must be one of '
                 f"{WIRE_MODES}, got {cell.get('wire_mode')!r}")
+        require(isinstance(cell.get("replication"), int) and
+                cell["replication"] >= 1,
+                f'runner: cell {ci} "replication" must be an int >= 1, '
+                f"got {cell.get('replication')!r}")
+        agg_chaos = cell["aggregate"].get("chaos")
+        if agg_chaos is not None:
+            # v5: null means "no kill was ever replaced"; a summary object
+            # means at least one trial observed a real replacement.
+            lat = agg_chaos.get("replacement_latency_ms", "missing")
+            require(lat is None or
+                    (isinstance(lat, dict) and lat.get("n", 0) >= 1),
+                    f"runner: cell {ci} aggregate replacement_latency_ms "
+                    f"must be null or a summary with n >= 1, got {lat!r}")
         for hist in ("lookup_all", "lookup_hits"):
             h = cell["aggregate"]["histograms"][hist]
             require("p99" in h, f"runner: cell {ci} {hist} lacks p99")

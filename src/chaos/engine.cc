@@ -99,7 +99,7 @@ void ChaosEngine::ExecuteAction(const ScenarioAction& action, size_t index) {
       size_t kill_index = directory_kills_.size();
       directory_kills_.push_back(kill);
       if (kill.had_directory && hooks_.directory_alive) {
-        sim_->Schedule(params_.probe_period, [this, kill_index]() {
+        sim_->Schedule(params_.replacement_poll_period, [this, kill_index]() {
           PollDirectoryReplacement(kill_index);
         });
       }
@@ -168,7 +168,7 @@ void ChaosEngine::PollDirectoryReplacement(size_t kill_index) {
     if (stats_ != nullptr) stats_->Add("chaos.directories_replaced");
     return;
   }
-  sim_->Schedule(params_.probe_period,
+  sim_->Schedule(params_.replacement_poll_period,
                  [this, kill_index]() { PollDirectoryReplacement(kill_index); });
 }
 

@@ -46,6 +46,10 @@ class ChaosEngine {
   struct Params {
     /// Cadence of probe samples and directory-replacement polling.
     SimDuration probe_period = kMinute;
+    /// Cadence of the directory-replacement poll alone. The default keeps
+    /// the historical one-minute measurement floor; experiments with
+    /// replicated directories lower it to resolve second-scale failover.
+    SimDuration replacement_poll_period = kMinute;
     RecoveryProbe::Params probe;
   };
 

@@ -46,6 +46,19 @@ std::optional<RingPeer> ChordNode::successor() const {
   return successors_.front();
 }
 
+std::vector<RingPeer> ChordNode::DistinctSuccessors(size_t limit) const {
+  // successors_ is already deduplicated by peer and sorted by clockwise
+  // distance; only the single-node-ring self entry needs filtering.
+  std::vector<RingPeer> out;
+  out.reserve(std::min(limit, successors_.size()));
+  for (const RingPeer& s : successors_) {
+    if (out.size() >= limit) break;
+    if (s.peer == self_ || s.peer == kInvalidPeer) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
 void ChordNode::CreateRing() {
   FLOWERCDN_CHECK(state_ == State::kIdle);
   successors_.assign(1, RingPeer{self_, id_});

@@ -123,6 +123,10 @@ class ChordNode {
   std::optional<RingPeer> successor() const;
   const std::optional<RingPeer>& predecessor() const { return predecessor_; }
   const std::vector<RingPeer>& successor_list() const { return successors_; }
+  /// Up to `limit` distinct non-self successors in ring order — the
+  /// deterministic replica set of the key range this node owns (used by
+  /// the Flower directory replication layer).
+  std::vector<RingPeer> DistinctSuccessors(size_t limit) const;
   const FingerTable& fingers() const { return fingers_; }
   const Params& params() const { return params_; }
   uint64_t lookups_started() const { return lookups_started_; }

@@ -58,9 +58,16 @@ ExperimentResult RunExperiment(
       queries = env_ptr->metrics().total_queries();
       hits = env_ptr->metrics().hits();
     };
+    ChaosEngine::Params chaos_params;
+    if (kind == SystemKind::kFlowerCdn && config.flower.replication >= 2) {
+      // Replicated directories fail over in seconds; the default one-minute
+      // replacement poll would quantize that away. Kept at the default for
+      // k=1 so unreplicated runs stay event-for-event identical.
+      chaos_params.replacement_poll_period = 5 * kSecond;
+    }
     chaos = std::make_unique<ChaosEngine>(
         &env.sim(), &env.network(), &env.churn(), &env.stats(),
-        env.MakeRng("chaos"), config.chaos, std::move(hooks));
+        env.MakeRng("chaos"), config.chaos, std::move(hooks), chaos_params);
     chaos->Start();
   }
 

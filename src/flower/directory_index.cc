@@ -66,6 +66,11 @@ DirectoryIndex::Snapshot DirectoryIndex::TakeSnapshot() const {
 }
 
 void DirectoryIndex::Restore(const Snapshot& snapshot) {
+  // Restore replaces the whole index. A handover or replica resync can
+  // land on an index that already accumulated entries (pushes racing the
+  // promotion); merging would keep providers the snapshot's owner had
+  // already expired, so drop everything first.
+  Clear();
   for (const auto& [peer, objects] : snapshot.peers) {
     ReplacePeerObjects(peer, objects);
   }

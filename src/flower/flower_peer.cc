@@ -754,6 +754,24 @@ void FlowerPeer::OnDirectoryUnreachable() {
   ++dir_failures_detected_;
   CountEvent("flower.dir_failures_detected");
   dir_info_.dir = kInvalidPeer;
+  if (ReplicationActive()) {
+    // Give the replica failover a head start: a cold vacancy-claim that
+    // wins the race installs an empty index at the position, and the warm
+    // heir then merely adopts it — the replicated state is lost. Defer the
+    // claim past the failover window; if no heir appeared by then (petal
+    // had no live replica), the classic claim still repairs the petal.
+    SimDuration grace =
+        static_cast<SimDuration>(ctx_.params->replica_failover_misses + 2) *
+        ctx_.params->replica_sync_period;
+    int instance = dir_info_.instance;
+    ctx_.network->SchedulePeer(
+        self_, incarnation_, grace, [this, instance]() {
+          if (role_ == FlowerRole::kDirectoryPeer) return;
+          if (dir_info_.dir != kInvalidPeer) return;  // repaired meanwhile
+          AttemptDirectoryClaim(instance);
+        });
+    return;
+  }
   AttemptDirectoryClaim(dir_info_.instance);
 }
 
@@ -833,6 +851,7 @@ void FlowerPeer::DemoteToContentPeer() {
   if (role_ != FlowerRole::kDirectoryPeer) return;
   role_ = FlowerRole::kContentPeer;
   index_.Clear();
+  ResetReplicaSource();
   dir_info_.dir = kInvalidPeer;
   dir_info_.age = 0;
   if (ctx_.on_role_change) ctx_.on_role_change(self_, role_);
@@ -854,6 +873,13 @@ void FlowerPeer::BecomeDirectory(int instance) {
   // fresh directory answers its first queries from gossip-learned summaries
   // while pushes rebuild the index (§5.2.2, §4).
   ScheduleDirectoryMaintenance();
+  if (ReplicationActive()) {
+    ResetReplicaSource();
+    SimDuration period = ctx_.params->replica_sync_period;
+    ScheduleReplicaSync(period / 2 +
+                        static_cast<SimDuration>(rng_.NextBounded(period / 2 +
+                                                                  1)));
+  }
   if (ctx_.on_role_change) ctx_.on_role_change(self_, role_);
 }
 
@@ -882,6 +908,7 @@ void FlowerPeer::DirectoryMaintenanceRound() {
     view_.Remove(peer);
     summaries_.erase(peer);
     index_.RemovePeer(peer);
+    ReplicaRecordRemove(peer);
   }
 }
 
@@ -896,6 +923,13 @@ void FlowerPeer::AnswerDirQuery(std::shared_ptr<FlowerDirQueryMsg> req) {
   reply->instance = instance_;
   if (role_ != FlowerRole::kDirectoryPeer || req->website != website_ ||
       req->locality != locality_) {
+    // A fresh replica of the queried petal answers in the primary's stead
+    // while a promotion is underway — kVacant here would invite racing
+    // vacancy claims that restart with an empty index.
+    if (TryAnswerFromReplica(*req, reply.get())) {
+      rpc_.Respond(*req, std::move(reply));
+      return;
+    }
     reply->result = DirQueryResult::kVacant;
     rpc_.Respond(*req, std::move(reply));
     return;
@@ -928,7 +962,10 @@ void FlowerPeer::AnswerDirQuery(std::shared_ptr<FlowerDirQueryMsg> req) {
         view_.RandomSubset(ctx_.params->view_seed_size, rng_, req->src);
   } else if (member) {
     view_.Upsert(Contact{req->src, 0});
-    if (req->has_object) index_.Add(req->src, req->object);
+    if (req->has_object) {
+      index_.Add(req->src, req->object);
+      ReplicaRecordAdd(req->src, req->object);
+    }
   }
   if (!req->has_object) {
     reply->result = DirQueryResult::kMiss;  // pure admission request
@@ -1017,7 +1054,10 @@ std::optional<PeerId> FlowerPeer::FindProviderLocally(const ObjectId& object,
 void FlowerPeer::AdmitContentPeer(PeerId peer,
                                   std::optional<ObjectId> first_object) {
   view_.Upsert(Contact{peer, 0});
-  if (first_object.has_value()) index_.Add(peer, *first_object);
+  if (first_object.has_value()) {
+    index_.Add(peer, *first_object);
+    ReplicaRecordAdd(peer, *first_object);
+  }
 }
 
 std::optional<PeerId> FlowerPeer::NextInstancePeer() const {
@@ -1067,6 +1107,7 @@ void FlowerPeer::TriggerPromotion() {
   ctx_.network->Send(self_, candidate->peer, std::move(msg));
   // §4: "the replacing content peer is removed from the directory-index."
   index_.RemovePeer(candidate->peer);
+  ReplicaRecordRemove(candidate->peer);
   view_.Remove(candidate->peer);
   summaries_.erase(candidate->peer);
 }
@@ -1084,6 +1125,7 @@ void FlowerPeer::OnPush(const Message& req) {
   if (role_ == FlowerRole::kDirectoryPeer) {
     reply->accepted = true;
     index_.ReplacePeerObjects(m.src, m.objects);
+    ReplicaRecordReplace(m.src, m.objects);
     view_.Upsert(Contact{m.src, 0});
   }
   rpc_.Respond(req, std::move(reply));
@@ -1222,7 +1264,14 @@ void FlowerPeer::OnDirProbe(const Message& req) {
 
 void FlowerPeer::OnDirHandoff(const Message& msg) {
   const auto& m = MessageCast<FlowerDirHandoffMsg>(msg);
-  if (role_ != FlowerRole::kContentPeer) return;
+  // Replica failover may pick an heir that is still in the client role
+  // (admitted but not yet serving content); a client can claim a vacant
+  // position just like it does on kVacant, so let it. Gated on replication
+  // so graceful-leave handoffs behave exactly as before at k=1.
+  bool eligible_role =
+      role_ == FlowerRole::kContentPeer ||
+      (ReplicationActive() && role_ == FlowerRole::kClient);
+  if (!eligible_role) return;
   if (m.website != website_ || m.locality != locality_) return;
   FlowerDirHandoffMsg copy;
   copy.website = m.website;
@@ -1231,6 +1280,329 @@ void FlowerPeer::OnDirHandoff(const Message& msg) {
   copy.view = m.view;
   copy.index = m.index;
   AttemptDirectoryClaim(m.instance, std::move(copy));
+}
+
+// --- Directory replication -----------------------------------------------------
+
+bool FlowerPeer::ReplicationActive() const {
+  return ctx_.params->replication >= 2;
+}
+
+const DirectoryIndex* FlowerPeer::ReplicaIndex(WebsiteId website,
+                                               LocalityId locality,
+                                               int instance) const {
+  auto it = replicas_.find(ctx_.keyspace->IdOf(website, locality, instance));
+  return it == replicas_.end() ? nullptr : &it->second.index;
+}
+
+void FlowerPeer::ReplicaRecordReplace(PeerId peer,
+                                      const std::vector<ObjectId>& objects) {
+  if (!ReplicationActive() || role_ != FlowerRole::kDirectoryPeer) return;
+  FlowerReplicaSyncMsg::Op op;
+  op.kind = FlowerReplicaSyncMsg::kReplaceObjects;
+  op.peer = peer;
+  op.objects = objects;
+  AppendReplicaOp(std::move(op));
+}
+
+void FlowerPeer::ReplicaRecordAdd(PeerId peer, const ObjectId& object) {
+  if (!ReplicationActive() || role_ != FlowerRole::kDirectoryPeer) return;
+  FlowerReplicaSyncMsg::Op op;
+  op.kind = FlowerReplicaSyncMsg::kAddObject;
+  op.peer = peer;
+  op.objects.push_back(object);
+  AppendReplicaOp(std::move(op));
+}
+
+void FlowerPeer::ReplicaRecordRemove(PeerId peer) {
+  if (!ReplicationActive() || role_ != FlowerRole::kDirectoryPeer) return;
+  FlowerReplicaSyncMsg::Op op;
+  op.kind = FlowerReplicaSyncMsg::kRemovePeer;
+  op.peer = peer;
+  AppendReplicaOp(std::move(op));
+}
+
+void FlowerPeer::AppendReplicaOp(FlowerReplicaSyncMsg::Op op) {
+  ++replica_version_;
+  replica_ops_.push_back(ReplicaOp{replica_version_, std::move(op)});
+  // Bounded log: replicas that fall further behind than the cap resync
+  // with a full snapshot instead.
+  while (replica_ops_.size() > ctx_.params->replica_max_delta_ops) {
+    replica_ops_.pop_front();
+  }
+}
+
+void FlowerPeer::ResetReplicaSource() {
+  // replica_version_ is deliberately NOT reset: it stays monotonic across
+  // role flaps of this peer, so a replica can never confuse a new
+  // directory term with an older one.
+  replica_ops_.clear();
+  replica_acks_.clear();
+}
+
+void FlowerPeer::ScheduleReplicaSync(SimDuration delay) {
+  if (replica_sync_scheduled_) return;
+  replica_sync_scheduled_ = true;
+  ctx_.network->SchedulePeer(self_, incarnation_, delay, [this]() {
+    replica_sync_scheduled_ = false;
+    if (role_ != FlowerRole::kDirectoryPeer || !ReplicationActive()) return;
+    ReplicaSyncRound();
+    ScheduleReplicaSync(ctx_.params->replica_sync_period);
+  });
+}
+
+void FlowerPeer::ReplicaSyncRound() {
+  if (chord_ == nullptr || !chord_->active()) return;
+  std::vector<RingPeer> targets = chord_->DistinctSuccessors(
+      static_cast<size_t>(ctx_.params->replication - 1));
+  if (targets.empty()) return;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    SendReplicaSync(targets[i].peer, static_cast<uint32_t>(i + 1));
+  }
+  // Ops acknowledged by every current replica are never needed again.
+  uint64_t min_acked = replica_version_;
+  for (const RingPeer& t : targets) {
+    auto it = replica_acks_.find(t.peer);
+    min_acked = std::min(min_acked,
+                         it == replica_acks_.end() ? uint64_t{0} : it->second);
+  }
+  while (!replica_ops_.empty() && replica_ops_.front().version <= min_acked) {
+    replica_ops_.pop_front();
+  }
+}
+
+void FlowerPeer::SendReplicaSync(PeerId target, uint32_t rank) {
+  auto msg = std::make_unique<FlowerReplicaSyncMsg>();
+  msg->website = website_;
+  msg->locality = locality_;
+  msg->instance = instance_;
+  msg->rank = rank;
+  msg->version = replica_version_;
+  msg->view = view_.contacts();
+  auto ack_it = replica_acks_.find(target);
+  // A delta only applies if the replica's acknowledged version is still
+  // covered by the op log; otherwise (new replica, missed syncs, log
+  // trimmed past it) fall back to full-snapshot anti-entropy.
+  bool delta_ok =
+      ack_it != replica_acks_.end() && ack_it->second <= replica_version_ &&
+      (replica_ops_.empty()
+           ? ack_it->second == replica_version_
+           : replica_ops_.front().version <= ack_it->second + 1);
+  if (delta_ok) {
+    msg->base_version = ack_it->second;
+    for (const ReplicaOp& logged : replica_ops_) {
+      if (logged.version > ack_it->second) msg->ops.push_back(logged.op);
+    }
+  } else {
+    msg->full = true;
+    msg->index = index_.TakeSnapshot();
+    ++replica_full_syncs_sent_;
+    CountEvent("flower.replica.full_syncs");
+  }
+  ++replica_syncs_sent_;
+  CountEvent("flower.replica.syncs");
+  rpc_.Call(target, std::move(msg), ctx_.params->rpc_timeout,
+            [this, target](const Status& status, MessagePtr resp) {
+              if (!status.ok()) {
+                // Dead successor: stabilization will rotate it out of the
+                // replica set; nothing to do here.
+                return;
+              }
+              const auto& reply =
+                  MessageCast<FlowerReplicaSyncReplyMsg>(*resp);
+              if (reply.accepted) {
+                replica_acks_[target] = reply.acked_version;
+              } else {
+                // Version gap or primary change on the replica: next round
+                // sends a full snapshot.
+                replica_acks_.erase(target);
+              }
+            });
+}
+
+void FlowerPeer::OnReplicaSync(const Message& req) {
+  const auto& m = MessageCast<FlowerReplicaSyncMsg>(req);
+  auto reply = std::make_unique<FlowerReplicaSyncReplyMsg>();
+  if (!ReplicationActive()) {
+    rpc_.Respond(req, std::move(reply));
+    return;
+  }
+  ChordId key = ctx_.keyspace->IdOf(m.website, m.locality, m.instance);
+  if (m.full) {
+    ReplicaState& state = replicas_[key];
+    state.primary = m.src;
+    state.website = m.website;
+    state.locality = m.locality;
+    state.instance = m.instance;
+    state.rank = m.rank;
+    state.version = m.version;
+    state.last_sync = ctx_.network->sim()->now();
+    state.handover_attempts = 0;
+    state.index.Restore(m.index);
+    state.view = m.view;
+    reply->accepted = true;
+    reply->acked_version = state.version;
+    rpc_.Respond(req, std::move(reply));
+    ScheduleReplicaMonitor();
+    return;
+  }
+  auto it = replicas_.find(key);
+  if (it == replicas_.end() || it->second.primary != m.src ||
+      it->second.version != m.base_version) {
+    // Unknown petal, a different (older) primary's delta, or missed syncs:
+    // reject so the live primary resyncs with a snapshot. Never apply a
+    // delta onto mismatched state — that is how stale replicas would
+    // clobber fresher indexes.
+    reply->accepted = false;
+    rpc_.Respond(req, std::move(reply));
+    return;
+  }
+  ReplicaState& state = it->second;
+  for (const FlowerReplicaSyncMsg::Op& op : m.ops) {
+    switch (op.kind) {
+      case FlowerReplicaSyncMsg::kReplaceObjects:
+        state.index.ReplacePeerObjects(op.peer, op.objects);
+        break;
+      case FlowerReplicaSyncMsg::kAddObject:
+        for (const ObjectId& o : op.objects) state.index.Add(op.peer, o);
+        break;
+      case FlowerReplicaSyncMsg::kRemovePeer:
+        state.index.RemovePeer(op.peer);
+        break;
+      default:
+        break;  // decoder rejects unknown kinds; belt and braces
+    }
+  }
+  state.version = m.version;
+  state.rank = m.rank;
+  state.view = m.view;
+  state.last_sync = ctx_.network->sim()->now();
+  state.handover_attempts = 0;
+  reply->accepted = true;
+  reply->acked_version = state.version;
+  rpc_.Respond(req, std::move(reply));
+  ScheduleReplicaMonitor();
+}
+
+void FlowerPeer::ScheduleReplicaMonitor() {
+  if (replica_monitor_scheduled_) return;
+  replica_monitor_scheduled_ = true;
+  ctx_.network->SchedulePeer(
+      self_, incarnation_, ctx_.params->replica_sync_period, [this]() {
+        replica_monitor_scheduled_ = false;
+        if (!ReplicationActive()) return;
+        ReplicaMonitorRound();
+        if (!replicas_.empty()) ScheduleReplicaMonitor();
+      });
+}
+
+void FlowerPeer::ReplicaMonitorRound() {
+  SimTime now = ctx_.network->sim()->now();
+  SimDuration period = ctx_.params->replica_sync_period;
+  // Sorted key pass: handover messages must fire in a deterministic order,
+  // and entries may be erased while iterating.
+  std::vector<ChordId> keys;
+  keys.reserve(replicas_.size());
+  for (const auto& [key, state] : replicas_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (ChordId key : keys) {
+    auto it = replicas_.find(key);
+    if (it == replicas_.end()) continue;
+    ReplicaState& state = it->second;
+    // Rank-staggered failover window: rank 1 acts after
+    // `replica_failover_misses` silent periods, rank 2 one period later...
+    // so replicas do not race each other to install an heir.
+    SimDuration timeout =
+        (ctx_.params->replica_failover_misses +
+         static_cast<SimDuration>(state.rank) - 1) *
+        period;
+    SimDuration silent = now - state.last_sync;
+    if (silent <= timeout) continue;
+    if (silent > 4 * timeout) {
+      // The petal recovered under a new primary that no longer targets us
+      // (or it dissolved entirely): the state is stale, drop it.
+      replicas_.erase(it);
+      continue;
+    }
+    if (state.handover_attempts >= 3) continue;
+    InitiateReplicaHandover(state);
+  }
+}
+
+void FlowerPeer::InitiateReplicaHandover(ReplicaState& state) {
+  ++state.handover_attempts;
+  // Freshest petal member first (smallest gossip age; peer id breaks
+  // ties deterministically); retries walk down the list.
+  std::vector<Contact> eligible;
+  eligible.reserve(state.view.size());
+  for (const Contact& c : state.view) {
+    if (c.peer == self_ || c.peer == state.primary ||
+        c.peer == kInvalidPeer) {
+      continue;
+    }
+    eligible.push_back(c);
+  }
+  if (eligible.empty()) return;
+  std::sort(eligible.begin(), eligible.end(),
+            [](const Contact& a, const Contact& b) {
+              if (a.age != b.age) return a.age < b.age;
+              return a.peer < b.peer;
+            });
+  const Contact& heir =
+      eligible[std::min<size_t>(
+          static_cast<size_t>(state.handover_attempts - 1),
+          eligible.size() - 1)];
+  ++replica_handovers_sent_;
+  CountEvent("flower.replica.handovers");
+  // Reuse the graceful-leave handoff: the heir restores the replicated
+  // index and claims the (now vacant) D-ring position — promotion of a
+  // replica's state instead of a cold rebuild.
+  auto handoff = std::make_unique<FlowerDirHandoffMsg>();
+  handoff->website = state.website;
+  handoff->locality = state.locality;
+  handoff->instance = state.instance;
+  handoff->view = state.view;
+  handoff->index = state.index.TakeSnapshot();
+  ctx_.network->Send(self_, heir.peer, std::move(handoff));
+}
+
+bool FlowerPeer::TryAnswerFromReplica(const FlowerDirQueryMsg& req,
+                                      FlowerDirQueryReplyMsg* reply) {
+  if (!ReplicationActive() || replicas_.empty()) return false;
+  SimTime now = ctx_.network->sim()->now();
+  SimDuration period = ctx_.params->replica_sync_period;
+  for (int inst = 0; inst < ctx_.keyspace->max_instances(); ++inst) {
+    auto it =
+        replicas_.find(ctx_.keyspace->IdOf(req.website, req.locality, inst));
+    if (it == replicas_.end()) continue;
+    const ReplicaState& state = it->second;
+    SimDuration timeout =
+        (ctx_.params->replica_failover_misses +
+         static_cast<SimDuration>(state.rank) - 1) *
+        period;
+    // Stale replicas must not answer — beyond the failover window a
+    // vacancy claim is the right recovery, and an old index would serve
+    // expired providers.
+    if (now - state.last_sync > 4 * timeout) continue;
+    reply->instance = state.instance;
+    reply->result = DirQueryResult::kMiss;
+    if (req.has_object) {
+      const std::vector<PeerId>& providers = state.index.Providers(req.object);
+      std::vector<PeerId> eligible;
+      eligible.reserve(providers.size());
+      for (PeerId p : providers) {
+        if (p != req.src && p != self_) eligible.push_back(p);
+      }
+      if (!eligible.empty()) {
+        reply->result = DirQueryResult::kProvider;
+        reply->provider = eligible[rng_.Index(eligible.size())];
+      }
+    }
+    ++replica_served_queries_;
+    CountEvent("flower.replica.served_queries");
+    return true;
+  }
+  return false;
 }
 
 // --- Dispatch ----------------------------------------------------------------
@@ -1300,6 +1672,9 @@ void FlowerPeer::HandleMessage(MessagePtr msg) {
       return;
     case kFlowerDirHandoff:
       OnDirHandoff(*msg);
+      return;
+    case kFlowerReplicaSync:
+      OnReplicaSync(*msg);
       return;
     default:
       return;  // unknown or stale: drop

@@ -1,6 +1,7 @@
 #ifndef FLOWERCDN_FLOWER_FLOWER_PEER_H_
 #define FLOWERCDN_FLOWER_FLOWER_PEER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -162,6 +163,17 @@ class FlowerPeer : public SimNode {
   uint64_t promotions_triggered() const { return promotions_triggered_; }
   uint64_t summary_hits() const { return summary_hits_; }
   uint64_t collaboration_hits() const { return collaboration_hits_; }
+  // Replication introspection (all zero / empty with --replication=1).
+  uint64_t replica_syncs_sent() const { return replica_syncs_sent_; }
+  uint64_t replica_full_syncs_sent() const { return replica_full_syncs_sent_; }
+  uint64_t replica_handovers_sent() const { return replica_handovers_sent_; }
+  uint64_t replica_served_queries() const { return replica_served_queries_; }
+  /// Number of foreign petals this peer holds replica state for.
+  size_t replica_petals_held() const { return replicas_.size(); }
+  /// Replicated index of petal (ws, loc, instance), or null when this peer
+  /// holds no replica for it.
+  const DirectoryIndex* ReplicaIndex(WebsiteId website, LocalityId locality,
+                                     int instance = 0) const;
 
  private:
   /// In-flight resolution state of one client/content-peer query.
@@ -261,6 +273,53 @@ class FlowerPeer : public SimNode {
   void OnDirProbe(const Message& req);
   void OnDirHandoff(const Message& msg);
 
+  // --- Directory replication (replication >= 2) --------------------------------
+  /// Replica state this peer holds for a *foreign* petal, fed by the
+  /// petal's primary directory over FlowerReplicaSync.
+  struct ReplicaState {
+    PeerId primary = kInvalidPeer;
+    WebsiteId website = 0;
+    LocalityId locality = 0;
+    int instance = 0;
+    /// 1-based successor rank the primary last assigned us (failover
+    /// stagger: rank 1 acts first).
+    uint32_t rank = 1;
+    uint64_t version = 0;
+    SimTime last_sync = 0;
+    int handover_attempts = 0;
+    DirectoryIndex index;
+    std::vector<Contact> view;
+  };
+
+  /// One logged index mutation on the primary, tagged with the state
+  /// version it produced.
+  struct ReplicaOp {
+    uint64_t version = 0;
+    FlowerReplicaSyncMsg::Op op;
+  };
+
+  bool ReplicationActive() const;
+  // Primary side: mutation log + periodic sync to D-ring successors.
+  void ReplicaRecordReplace(PeerId peer, const std::vector<ObjectId>& objects);
+  void ReplicaRecordAdd(PeerId peer, const ObjectId& object);
+  void ReplicaRecordRemove(PeerId peer);
+  void AppendReplicaOp(FlowerReplicaSyncMsg::Op op);
+  /// Drops the mutation log and per-replica acks (role change).
+  void ResetReplicaSource();
+  void ScheduleReplicaSync(SimDuration delay);
+  void ReplicaSyncRound();
+  void SendReplicaSync(PeerId target, uint32_t rank);
+  // Replica side: apply syncs, watch primary liveness, hand over on death.
+  void OnReplicaSync(const Message& req);
+  void ScheduleReplicaMonitor();
+  void ReplicaMonitorRound();
+  void InitiateReplicaHandover(ReplicaState& state);
+  /// Serves a dir-query from fresh replica state while the petal's primary
+  /// is being replaced (suppresses racing vacancy claims). Returns true if
+  /// the reply was filled in.
+  bool TryAnswerFromReplica(const FlowerDirQueryMsg& req,
+                            FlowerDirQueryReplyMsg* reply);
+
   FlowerContext ctx_;
   PeerId self_;
   WebsiteId website_;
@@ -308,6 +367,21 @@ class FlowerPeer : public SimNode {
   uint64_t promotions_triggered_ = 0;
   uint64_t summary_hits_ = 0;
   uint64_t collaboration_hits_ = 0;
+
+  // Replication state. All of it stays empty (and no event is ever
+  // scheduled) with replication == 1, keeping the default byte-identical.
+  // Primary side:
+  uint64_t replica_version_ = 0;
+  std::deque<ReplicaOp> replica_ops_;
+  std::unordered_map<PeerId, uint64_t> replica_acks_;
+  bool replica_sync_scheduled_ = false;
+  // Replica side, keyed by the petal's D-ring position id:
+  std::unordered_map<ChordId, ReplicaState> replicas_;
+  bool replica_monitor_scheduled_ = false;
+  uint64_t replica_syncs_sent_ = 0;
+  uint64_t replica_full_syncs_sent_ = 0;
+  uint64_t replica_handovers_sent_ = 0;
+  uint64_t replica_served_queries_ = 0;
 };
 
 }  // namespace flowercdn

@@ -32,6 +32,8 @@ enum FlowerMessageType : MessageType {
   kFlowerForwardedQuery = kFlowerMessageBase + 14,
   kFlowerKeywordQuery = kFlowerMessageBase + 15,
   kFlowerKeywordReply = kFlowerMessageBase + 16,
+  kFlowerReplicaSync = kFlowerMessageBase + 17,
+  kFlowerReplicaSyncReply = kFlowerMessageBase + 18,
 };
 
 inline bool IsFlowerMessage(MessageType t) {
@@ -232,6 +234,70 @@ struct FlowerKeywordReplyMsg : Message {
     PeerId provider = kInvalidPeer;
   };
   std::vector<Match> matches;
+};
+
+/// Directory primary -> D-ring successor: one replica-sync round for
+/// petal (website, locality, instance). Either a full index snapshot
+/// (anti-entropy: replica join, version gap, primary change) or the delta
+/// operations accumulated since the receiver's acknowledged version. The
+/// petal view rides along in both forms so a promoting replica always
+/// hands over fresh (age-reconciled) contacts.
+struct FlowerReplicaSyncMsg : Message {
+  FlowerReplicaSyncMsg() { type = kFlowerReplicaSync; }
+
+  enum OpKind : uint8_t {
+    /// Replace the peer's whole object set (push).
+    kReplaceObjects = 0,
+    /// Register one object for the peer (query admission).
+    kAddObject = 1,
+    /// Forget the peer entirely (expiry, promotion).
+    kRemovePeer = 2,
+  };
+
+  /// One incremental index mutation, replayed in order on the replica.
+  struct Op {
+    uint8_t kind = kReplaceObjects;
+    PeerId peer = kInvalidPeer;
+    std::vector<ObjectId> objects;  // empty for kRemovePeer
+  };
+
+  size_t SizeBytes() const override {
+    size_t payload = 33 + ContactsBytes(view);
+    for (const auto& [peer, objects] : index.peers) {
+      payload += 8 + 8 * objects.size();
+    }
+    for (const Op& op : ops) payload += 13 + 8 * op.objects.size();
+    return kHeaderBytes + payload;
+  }
+
+  WebsiteId website = 0;
+  LocalityId locality = 0;
+  int instance = 0;
+  /// 1-based position of the receiver in the primary's successor list;
+  /// staggers replica failover (rank 1 acts first).
+  uint32_t rank = 1;
+  bool full = false;
+  /// Delta only: replica state version this delta applies on top of. A
+  /// mismatch means missed syncs; the replica rejects and the primary
+  /// falls back to a full snapshot.
+  uint64_t base_version = 0;
+  /// State version after applying this message.
+  uint64_t version = 0;
+  /// Primary's current petal view (content-peer contacts with ages).
+  std::vector<Contact> view;
+  /// Full snapshot of the directory-index (full == true only).
+  DirectoryIndex::Snapshot index;
+  /// Incremental operations (full == false only).
+  std::vector<Op> ops;
+};
+
+struct FlowerReplicaSyncReplyMsg : Message {
+  FlowerReplicaSyncReplyMsg() { type = kFlowerReplicaSyncReply; }
+  /// False when the receiver could not apply a delta (version gap, unknown
+  /// petal, replication disabled) — the primary resyncs with a snapshot.
+  bool accepted = false;
+  /// Receiver's replica state version after processing.
+  uint64_t acked_version = 0;
 };
 
 /// Directory-to-directory collaboration probe (§3.2): "do you know a

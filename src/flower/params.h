@@ -71,6 +71,30 @@ struct FlowerParams {
   /// Flower-CDN behavior (fixed one directory per petal).
   bool petalup_enabled = true;
 
+  /// Total copies of each directory-index, primary included. 1 (the
+  /// paper-faithful default) disables replication entirely — no replica
+  /// state, messages or counters exist, keeping runs byte-identical to the
+  /// unreplicated protocol. With k >= 2 every directory peer syncs its
+  /// index to its k-1 nearest distinct D-ring successors and a replica
+  /// holder hands the state to a petal member within seconds of the
+  /// primary's death.
+  int replication = 1;
+
+  /// Cadence of replica-sync messages (delta or full snapshot) from a
+  /// directory primary to its successor replicas. Only meaningful with
+  /// replication >= 2.
+  SimDuration replica_sync_period = 15 * kSecond;
+
+  /// A replica holder presumes its primary dead after this many missed
+  /// sync periods (plus its 0-based replica rank, staggering failover so
+  /// the first live successor acts first).
+  int replica_failover_misses = 2;
+
+  /// Cap on buffered index-delta operations per primary. A replica whose
+  /// acknowledged version falls behind the trimmed log is resynced with a
+  /// full snapshot (anti-entropy) instead of deltas.
+  size_t replica_max_delta_ops = 256;
+
   /// Parameters of the D-ring DHT substrate.
   ChordNode::Params chord;
 };

@@ -109,17 +109,29 @@ AggregateResult Aggregate(const std::vector<ExperimentResult>& trials) {
 
   agg.chaos_enabled = trials[0].chaos.enabled;
   if (agg.chaos_enabled) {
-    agg.chaos_replacement_latency_ms = Summarize(trials, [](const R& r) {
-      double sum = 0;
-      size_t replaced = 0;
-      for (const auto& kill : r.chaos.directory_kills) {
-        if (kill.replacement_latency_ms >= 0) {
-          sum += kill.replacement_latency_ms;
-          ++replaced;
+    // Only trials where at least one killed directory was observed replaced
+    // contribute a sample. A trial with no replacements (Squirrel runs, or
+    // kills of petals that never had a directory) must not fake a 0 ms
+    // latency; with zero samples the summary exports n == 0 and JSON null.
+    {
+      std::vector<double> replacement_samples;
+      replacement_samples.reserve(trials.size());
+      for (const ExperimentResult& r : trials) {
+        double sum = 0;
+        size_t replaced = 0;
+        for (const auto& kill : r.chaos.directory_kills) {
+          if (kill.replacement_latency_ms >= 0) {
+            sum += kill.replacement_latency_ms;
+            ++replaced;
+          }
+        }
+        if (replaced > 0) {
+          replacement_samples.push_back(sum / static_cast<double>(replaced));
         }
       }
-      return replaced ? sum / static_cast<double>(replaced) : 0.0;
-    });
+      agg.chaos_replacement_latency_ms =
+          MetricSummary::FromSamples(replacement_samples);
+    }
     agg.chaos_hit_ratio_dip = Summarize(trials, [](const R& r) {
       return r.chaos.baseline_hit_ratio - r.chaos.dip_min_hit_ratio;
     });

@@ -66,7 +66,9 @@ struct AggregateResult {
   // `chaos_enabled` (the cell ran with a scenario); all-zero otherwise.
   bool chaos_enabled = false;
   /// Per trial: mean replacement latency over the directory kills that were
-  /// replaced before the run ended (0 when none were).
+  /// replaced before the run ended. Trials with no observed replacement
+  /// contribute no sample, so n == 0 (JSON null) when nothing was ever
+  /// replaced — never a fake 0 ms.
   MetricSummary chaos_replacement_latency_ms;
   /// Per trial: baseline windowed hit ratio minus the dip minimum.
   MetricSummary chaos_hit_ratio_dip;

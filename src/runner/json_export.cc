@@ -120,6 +120,12 @@ JsonWriter& JsonWriter::Value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  os_ << "null";
+  return *this;
+}
+
 namespace {
 
 void WriteSummary(JsonWriter& w, const MetricSummary& s) {
@@ -386,8 +392,16 @@ void WriteAggregate(JsonWriter& w, const AggregateResult& a) {
 
   if (a.chaos_enabled) {
     w.Key("chaos").BeginObject();
+    // No trial ever observed a replaced directory => there is no latency to
+    // report. Emit null, not an all-zero summary — 0 ms would read as
+    // "instant replacement" (the old misleading Squirrel row).
+    w.Key("replacement_latency_ms");
+    if (a.chaos_replacement_latency_ms.n == 0) {
+      w.Null();
+    } else {
+      WriteSummary(w, a.chaos_replacement_latency_ms);
+    }
     const Named chaos_metrics[] = {
-        {"replacement_latency_ms", a.chaos_replacement_latency_ms},
         {"hit_ratio_dip", a.chaos_hit_ratio_dip},
         {"recovery_ms", a.chaos_recovery_ms},
         {"success_during_partition", a.chaos_success_during_partition},
@@ -426,7 +440,7 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
                     bool include_trials, bool include_timing) {
   JsonWriter w(os);
   w.BeginObject();
-  w.Key("schema").Value("flowercdn-runner/v4");
+  w.Key("schema").Value("flowercdn-runner/v5");
   w.Key("base_seed").Value(base_seed);
   w.Key("cells").BeginArray();
   for (const CellResult& cell : cells) {
@@ -442,6 +456,8 @@ void WriteSweepJson(std::ostream& os, uint64_t base_seed,
     w.Key("churn").Value(cell.config.churn_enabled);
     w.Key("scenario").Value(cell.config.chaos.name);
     w.Key("wire_mode").Value(WireModeName(cell.config.wire_mode));
+    w.Key("replication").Value(
+        static_cast<uint64_t>(cell.config.flower.replication));
     // Deliberately no "kernel" key here: the default document must be
     // byte-identical between --kernel=heap and --kernel=ladder, which is
     // the cross-check that the ladder queue reproduces heap ordering. The

@@ -34,6 +34,8 @@ class JsonWriter {
   JsonWriter& Value(uint64_t v);
   JsonWriter& Value(int v) { return Value(static_cast<uint64_t>(v)); }
   JsonWriter& Value(bool v);
+  /// Emits an explicit JSON null ("metric not observed", as opposed to 0).
+  JsonWriter& Null();
 
  private:
   void Separate();

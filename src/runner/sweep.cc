@@ -161,11 +161,16 @@ Result<SweepSpec> SweepSpec::Parse(std::string_view spec,
       }
       sweep.base.duration = static_cast<SimDuration>(
           numbers[0] * static_cast<double>(kHour));
+    } else if (key == "replication") {
+      for (double n : numbers) {
+        if (n < 1) return Status::InvalidArgument("sweep: replication < 1");
+        sweep.replications.push_back(static_cast<int>(n));
+      }
     } else {
       return Status::InvalidArgument(
           "sweep: unknown key '" + std::string(key) +
-          "' (want population|zipf|uptime-min|chaos|system|wire|trials|"
-          "seed|hours)");
+          "' (want population|zipf|uptime-min|chaos|system|wire|replication|"
+          "trials|seed|hours)");
     }
   }
   return sweep;
@@ -179,6 +184,7 @@ size_t SweepSpec::NumCells() const {
   if (!scenarios.empty()) cells *= scenarios.size();
   cells *= systems.empty() ? 1 : systems.size();
   if (!wire_modes.empty()) cells *= wire_modes.size();
+  if (!replications.empty()) cells *= replications.size();
   return cells;
 }
 
@@ -200,10 +206,13 @@ std::vector<TrialJob> SweepSpec::Expand() const {
       systems.empty() ? std::vector<SystemChoice>{SystemChoice{}} : systems;
   std::vector<WireMode> wires =
       wire_modes.empty() ? std::vector<WireMode>{base.wire_mode} : wire_modes;
+  std::vector<int> reps = replications.empty()
+                              ? std::vector<int>{base.flower.replication}
+                              : replications;
 
   std::vector<TrialJob> jobs;
   jobs.reserve(pops.size() * zipfs.size() * uptimes.size() * scripts.size() *
-               kinds.size() * wires.size() * trials);
+               kinds.size() * wires.size() * reps.size() * trials);
   size_t cell = 0;
   for (size_t population : pops) {
     for (double zipf : zipfs) {
@@ -211,41 +220,50 @@ std::vector<TrialJob> SweepSpec::Expand() const {
         for (const ScenarioScript& script : scripts) {
           for (const SystemChoice& sys : kinds) {
             for (WireMode wire : wires) {
-              std::string label = sys.name;
-              if (pops.size() > 1) {
-                label += "/P=" + std::to_string(population);
+              for (int replication : reps) {
+                std::string label = sys.name;
+                if (pops.size() > 1) {
+                  label += "/P=" + std::to_string(population);
+                }
+                if (zipfs.size() > 1) {
+                  label += "/zipf=" + FormatDouble(zipf, 2);
+                }
+                if (uptimes.size() > 1) {
+                  label += "/m=" + std::to_string(uptime / kMinute) + "min";
+                }
+                if (scripts.size() > 1) {
+                  label += "/chaos=" +
+                           (script.empty()
+                                ? std::string("none")
+                                : (script.name.empty()
+                                       ? std::string("scenario")
+                                       : script.name));
+                }
+                if (wires.size() > 1) {
+                  label += "/wire=" + std::string(WireModeName(wire));
+                }
+                if (reps.size() > 1) {
+                  label += "/k=" + std::to_string(replication);
+                }
+                for (size_t trial = 0; trial < trials; ++trial) {
+                  TrialJob job;
+                  job.config = base;
+                  job.config.target_population = population;
+                  job.config.catalog.zipf_alpha = zipf;
+                  job.config.mean_uptime = uptime;
+                  job.config.chaos = script;
+                  job.config.squirrel.mode = sys.squirrel_mode;
+                  job.config.wire_mode = wire;
+                  job.config.flower.replication = replication;
+                  job.config.seed = DeriveTrialSeed(base_seed, trial);
+                  job.kind = sys.kind;
+                  job.cell = cell;
+                  job.trial = trial;
+                  job.label = label;
+                  jobs.push_back(std::move(job));
+                }
+                ++cell;
               }
-              if (zipfs.size() > 1) label += "/zipf=" + FormatDouble(zipf, 2);
-              if (uptimes.size() > 1) {
-                label += "/m=" + std::to_string(uptime / kMinute) + "min";
-              }
-              if (scripts.size() > 1) {
-                label += "/chaos=" +
-                         (script.empty()
-                              ? std::string("none")
-                              : (script.name.empty() ? std::string("scenario")
-                                                     : script.name));
-              }
-              if (wires.size() > 1) {
-                label += "/wire=" + std::string(WireModeName(wire));
-              }
-              for (size_t trial = 0; trial < trials; ++trial) {
-                TrialJob job;
-                job.config = base;
-                job.config.target_population = population;
-                job.config.catalog.zipf_alpha = zipf;
-                job.config.mean_uptime = uptime;
-                job.config.chaos = script;
-                job.config.squirrel.mode = sys.squirrel_mode;
-                job.config.wire_mode = wire;
-                job.config.seed = DeriveTrialSeed(base_seed, trial);
-                job.kind = sys.kind;
-                job.cell = cell;
-                job.trial = trial;
-                job.label = label;
-                jobs.push_back(std::move(job));
-              }
-              ++cell;
             }
           }
         }

@@ -40,16 +40,18 @@ struct SweepSpec {
   std::vector<ScenarioScript> scenarios;     // chaos scenarios (files/none)
   std::vector<SystemChoice> systems;         // default: flower only
   std::vector<WireMode> wire_modes;          // traffic sizing backends
+  std::vector<int> replications;             // directory replication factors
   size_t trials = 1;
   uint64_t base_seed = 42;
 
   /// Parses a compact sweep string of semicolon-separated `key=v1,v2,...`
   /// clauses onto `base`. Keys: population, zipf, uptime-min, chaos,
-  /// system, wire, trials, seed, hours. `chaos` values are scenario file
-  /// paths (or the literal `none` for a fault-free cell); `wire` values are
-  /// modeled|encoded. Example:
+  /// system, wire, replication, trials, seed, hours. `chaos` values are
+  /// scenario file paths (or the literal `none` for a fault-free cell);
+  /// `wire` values are modeled|encoded; `replication` values are total
+  /// directory copies (k >= 1; only Flower cells react). Example:
   ///   "population=2000,3000;system=flower,squirrel;trials=8"
-  ///   "chaos=none,scenarios/dirkill.json;system=flower,squirrel"
+  ///   "chaos=scenarios/dirkill.json;replication=1,3"
   /// Unknown keys, empty value lists and malformed numbers are errors.
   static Result<SweepSpec> Parse(std::string_view spec,
                                  const ExperimentConfig& base);
@@ -59,8 +61,8 @@ struct SweepSpec {
 
   /// Expands the grid into per-trial jobs, cell-major (all trials of cell 0
   /// first). Cell order: population (outer), zipf, uptime, chaos, system,
-  /// wire (inner). Labels name the system plus every dimension with >1
-  /// swept value.
+  /// wire, replication (inner). Labels name the system plus every dimension
+  /// with >1 swept value.
   std::vector<TrialJob> Expand() const;
 };
 

@@ -471,6 +471,78 @@ void DecodePayload(WireReader& r, FlowerKeywordReplyMsg& m) {
   }
 }
 
+void EncodePayload(const FlowerReplicaSyncMsg& m, WireWriter& w) {
+  w.U32(m.website);
+  w.U32(uint32_t(m.locality));
+  w.U32(uint32_t(m.instance));
+  w.U32(m.rank);
+  w.Bool(m.full);
+  w.U64(m.base_version);
+  w.U64(m.version);
+  WriteContacts(w, m.view);
+  w.U32(uint32_t(m.index.peers.size()));
+  for (const auto& [peer, objects] : m.index.peers) {
+    w.U64(peer);
+    w.U32(uint32_t(objects.size()));
+    for (const ObjectId& o : objects) WriteObjectId(w, o);
+  }
+  w.U32(uint32_t(m.ops.size()));
+  for (const FlowerReplicaSyncMsg::Op& op : m.ops) {
+    w.U8(op.kind);
+    w.U64(op.peer);
+    w.U32(uint32_t(op.objects.size()));
+    for (const ObjectId& o : op.objects) WriteObjectId(w, o);
+  }
+}
+
+void DecodePayload(WireReader& r, FlowerReplicaSyncMsg& m) {
+  m.website = r.U32();
+  m.locality = LocalityId(r.U32());
+  m.instance = int(r.U32());
+  m.rank = r.U32();
+  m.full = r.Bool();
+  m.base_version = r.U64();
+  m.version = r.U64();
+  m.view = ReadContacts(r);
+  size_t peers = r.Count(kWireMaxElements, 12);
+  m.index.peers.reserve(peers);
+  for (size_t i = 0; i < peers && r.ok(); ++i) {
+    PeerId peer = r.U64();
+    size_t objects = r.Count(kWireMaxElements, 8);
+    std::vector<ObjectId> ids;
+    ids.reserve(objects);
+    for (size_t j = 0; j < objects && r.ok(); ++j)
+      ids.push_back(ReadObjectId(r));
+    m.index.peers.emplace_back(peer, std::move(ids));
+  }
+  size_t ops = r.Count(kWireMaxElements, 13);
+  m.ops.reserve(ops);
+  for (size_t i = 0; i < ops && r.ok(); ++i) {
+    FlowerReplicaSyncMsg::Op op;
+    op.kind = r.U8();
+    if (op.kind > FlowerReplicaSyncMsg::kRemovePeer) {
+      r.Fail("bad replica-sync op kind");
+      return;
+    }
+    op.peer = r.U64();
+    size_t objects = r.Count(kWireMaxElements, 8);
+    op.objects.reserve(objects);
+    for (size_t j = 0; j < objects && r.ok(); ++j)
+      op.objects.push_back(ReadObjectId(r));
+    m.ops.push_back(std::move(op));
+  }
+}
+
+void EncodePayload(const FlowerReplicaSyncReplyMsg& m, WireWriter& w) {
+  w.Bool(m.accepted);
+  w.U64(m.acked_version);
+}
+
+void DecodePayload(WireReader& r, FlowerReplicaSyncReplyMsg& m) {
+  m.accepted = r.Bool();
+  m.acked_version = r.U64();
+}
+
 // --- squirrel ---
 
 void EncodePayload(const SquirrelQueryMsg& m, WireWriter& w) {
@@ -620,6 +692,10 @@ WireRegistry::WireRegistry() {
            MakeEntry<FlowerKeywordQueryMsg>("flower.keyword_query"));
   Register(kFlowerKeywordReply,
            MakeEntry<FlowerKeywordReplyMsg>("flower.keyword_reply"));
+  Register(kFlowerReplicaSync,
+           MakeEntry<FlowerReplicaSyncMsg>("flower.replica_sync"));
+  Register(kFlowerReplicaSyncReply,
+           MakeEntry<FlowerReplicaSyncReplyMsg>("flower.replica_sync_reply"));
 
   Register(kSquirrelQuery, MakeEntry<SquirrelQueryMsg>("squirrel.query"));
   Register(kSquirrelQueryReply,

@@ -219,6 +219,40 @@ std::vector<MessagePtr> BuildSampleMessages() {
     m->matches = {{ObjectId{3, 4}, 101}, {ObjectId{3, 8}, 202}};
     msgs.push_back(std::move(m));
   }
+  {
+    // One sample exercises both forms: the snapshot fields (full) and the
+    // delta op list (every op kind).
+    auto m = Stamp<FlowerReplicaSyncMsg>(false);
+    m->website = 3;
+    m->locality = 2;
+    m->instance = 0;
+    m->rank = 2;
+    m->full = true;
+    m->base_version = 41;
+    m->version = 44;
+    m->view = SampleContacts();
+    m->index.peers = {{101, {ObjectId{3, 1}, ObjectId{3, 5}}},
+                      {202, {ObjectId{3, 2}}}};
+    FlowerReplicaSyncMsg::Op replace;
+    replace.kind = FlowerReplicaSyncMsg::kReplaceObjects;
+    replace.peer = 101;
+    replace.objects = {ObjectId{3, 1}, ObjectId{3, 9}};
+    FlowerReplicaSyncMsg::Op add;
+    add.kind = FlowerReplicaSyncMsg::kAddObject;
+    add.peer = 202;
+    add.objects = {ObjectId{3, 7}};
+    FlowerReplicaSyncMsg::Op remove;
+    remove.kind = FlowerReplicaSyncMsg::kRemovePeer;
+    remove.peer = 303;
+    m->ops = {std::move(replace), std::move(add), std::move(remove)};
+    msgs.push_back(std::move(m));
+  }
+  {
+    auto m = Stamp<FlowerReplicaSyncReplyMsg>(true);
+    m->accepted = true;
+    m->acked_version = 44;
+    msgs.push_back(std::move(m));
+  }
 
   {
     auto m = Stamp<SquirrelQueryMsg>(false);

@@ -67,6 +67,46 @@ TEST(RunnerDeterminismTest, ChaosScenarioBitIdenticalAcrossJobCounts) {
   EXPECT_NE(RunWithJobs(clean, 1), serial);
 }
 
+// ISSUE 10: directory replication must not cost determinism either — the
+// replica-sync/failover machinery is all simulator-scheduled. A k=1,3
+// sweep under a directory kill stays byte-identical at any parallelism,
+// and the k side of the sweep must actually reach the cells: the two
+// replication cells differ from each other.
+TEST(RunnerDeterminismTest, ReplicationSweepBitIdenticalAcrossJobCounts) {
+  ExperimentConfig base;
+  base.target_population = 150;
+  base.duration = 2 * kHour;
+  base.catalog.num_websites = 8;
+  base.catalog.num_active = 2;
+  base.catalog.objects_per_website = 50;
+  ScenarioScript script;
+  script.name = "repl-kill";
+  script.AddKillDirectory(/*website=*/0, /*locality=*/0, 30 * kMinute);
+  base.chaos = script;
+  Result<SweepSpec> spec =
+      SweepSpec::Parse("system=flower;replication=1,3;trials=2;seed=11", base);
+  ASSERT_TRUE(spec.ok());
+
+  std::string serial = RunWithJobs(*spec, 1);
+  std::string parallel = RunWithJobs(*spec, 8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"label\":\"flower/k=1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"label\":\"flower/k=3\""), std::string::npos);
+  EXPECT_NE(serial.find("\"replication\":3"), std::string::npos);
+
+  // Replication is not a no-op at k=3: replica-sync traffic is real, so
+  // the two cells' message accounting must diverge.
+  size_t k1 = serial.find("\"label\":\"flower/k=1\"");
+  size_t k3 = serial.find("\"label\":\"flower/k=3\"");
+  ASSERT_NE(k1, std::string::npos);
+  ASSERT_NE(k3, std::string::npos);
+  size_t m1 = serial.find("\"messages_sent\":{", k1);
+  size_t m3 = serial.find("\"messages_sent\":{", k3);
+  ASSERT_NE(m1, std::string::npos);
+  ASSERT_NE(m3, std::string::npos);
+  EXPECT_NE(serial.substr(m1, 64), serial.substr(m3, 64));
+}
+
 TEST(RunnerDeterminismTest, DifferentSeedChangesResults) {
   SweepSpec sweep = TinySweep();
   std::string a = RunWithJobs(sweep, 2);

@@ -249,7 +249,7 @@ TEST(JsonExportTest, SweepDocumentShape) {
   cell.aggregate = Aggregate(cell.trials);
 
   std::string json = SweepJsonString(42, {cell}, /*include_trials=*/true);
-  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v4\""),
+  EXPECT_NE(json.find("\"schema\":\"flowercdn-runner/v5\""),
             std::string::npos);
   EXPECT_NE(json.find("\"base_seed\":42"), std::string::npos);
   EXPECT_NE(json.find("\"label\":\"flower\""), std::string::npos);
@@ -271,10 +271,45 @@ TEST(JsonExportTest, SweepDocumentShape) {
   // family for transport NACKs.
   EXPECT_NE(json.find("\"wire_mode\":\"modeled\""), std::string::npos);
   EXPECT_NE(json.find("\"nack\":{"), std::string::npos);
+  // v5 addition: the cell's directory replication factor.
+  EXPECT_NE(json.find("\"replication\":1"), std::string::npos);
 
   std::string no_trials = SweepJsonString(42, {cell}, false);
   EXPECT_EQ(no_trials.find("\"trial_results\""), std::string::npos);
   EXPECT_LT(no_trials.size(), json.size());
+}
+
+// v5: a chaos cell where no killed directory was ever replaced must export
+// a literal null aggregate latency, never a fake 0 ms summary (the old
+// misleading Squirrel row in bench/chaos_resilience).
+TEST(JsonExportTest, UnreplacedKillExportsNullLatency) {
+  CellResult cell;
+  cell.label = "squirrel/faults";
+  cell.kind = SystemKind::kSquirrel;
+  ExperimentResult r = FakeResult(0.4, 100, {0.1});
+  r.chaos.enabled = true;
+  ChaosReport::DirectoryKill kill;
+  kill.website = 0;
+  kill.locality = 0;
+  kill.had_directory = true;
+  kill.replacement_latency_ms = -1;  // never replaced by run end
+  r.chaos.directory_kills.push_back(kill);
+  cell.trials = {r};
+  cell.aggregate = Aggregate(cell.trials);
+
+  EXPECT_EQ(cell.aggregate.chaos_replacement_latency_ms.n, 0u);
+  std::string json = SweepJsonString(42, {cell}, /*include_trials=*/false);
+  EXPECT_NE(json.find("\"replacement_latency_ms\":null"), std::string::npos);
+
+  // And once a kill IS replaced, the summary carries the real latency.
+  cell.trials[0].chaos.directory_kills[0].replacement_latency_ms = 30000.0;
+  cell.aggregate = Aggregate(cell.trials);
+  EXPECT_EQ(cell.aggregate.chaos_replacement_latency_ms.n, 1u);
+  EXPECT_DOUBLE_EQ(cell.aggregate.chaos_replacement_latency_ms.mean, 30000.0);
+  json = SweepJsonString(42, {cell}, /*include_trials=*/false);
+  EXPECT_EQ(json.find("\"replacement_latency_ms\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"replacement_latency_ms\":{\"n\":1,\"mean\":30000"),
+            std::string::npos);
 }
 
 // --- TrialRunner (pure ordering properties; sims are tiny) ----------------

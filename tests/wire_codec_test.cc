@@ -28,6 +28,7 @@ const MessageType kAllTypes[] = {
     kFlowerPush, kFlowerPushReply, kFlowerPromote, kFlowerDirHandoff,
     kFlowerDirProbe, kFlowerDirProbeReply, kFlowerForwardedQuery,
     kFlowerKeywordQuery, kFlowerKeywordReply,
+    kFlowerReplicaSync, kFlowerReplicaSyncReply,
     kSquirrelQuery, kSquirrelQueryReply, kSquirrelFetch, kSquirrelFetchReply,
     kSquirrelUpdate, kSquirrelHandoff,
 };

@@ -44,6 +44,9 @@ void Usage(const char* argv0) {
                "  --no-retain-cache     clear browser caches on re-join\n"
                "  --collab              enable directory collaboration (§3.2)\n"
                "  --no-petalup          disable elastic directory instances\n"
+               "  --replication=K       total copies of each directory index\n"
+               "                        (primary + K-1 D-ring successor\n"
+               "                        replicas; default 1 = no replication)\n"
                "  --chaos=FILE          fault-injection scenario JSON (see\n"
                "                        docs/CHAOS.md); prints a recovery\n"
                "                        summary after the run\n"
@@ -54,7 +57,7 @@ void Usage(const char* argv0) {
                "                        'population=2000,3000;system=flower,"
                "squirrel;trials=4'\n"
                "                        (keys: population zipf uptime-min "
-               "chaos system wire trials seed hours)\n"
+               "chaos system wire replication trials seed hours)\n"
                "  --json-out=PATH       write runner JSON (per-trial + "
                "aggregate)\n"
                "  --json-aggregate-only omit per-trial results from the JSON\n"
@@ -313,10 +316,13 @@ void PrintAggregateChaosTable(const std::vector<CellResult>& cells) {
     MetricSummary replace_min = a.chaos_replacement_latency_ms;
     replace_min.mean /= 60000.0;
     replace_min.ci95_half /= 60000.0;
+    // n == 0 means no kill was ever replaced: show "-", not a fake 0.0.
+    std::string replace_str =
+        replace_min.n == 0 ? "-" : PlusMinus(replace_min, 1);
     MetricSummary recovery_min = a.chaos_recovery_ms;
     recovery_min.mean /= 60000.0;
     recovery_min.ci95_half /= 60000.0;
-    table.AddRow({cell.label, PlusMinus(replace_min, 1),
+    table.AddRow({cell.label, replace_str,
                   PlusMinus(a.chaos_hit_ratio_dip, 3),
                   PlusMinus(recovery_min, 1),
                   PlusMinus(a.chaos_success_during_partition, 3),
@@ -396,6 +402,8 @@ int main(int argc, char** argv) {
       config.flower.enable_dir_collaboration = true;
     } else if (std::strcmp(arg, "--no-petalup") == 0) {
       config.flower.petalup_enabled = false;
+    } else if (ParsePositiveFlag(arg, "--replication", &value)) {
+      config.flower.replication = static_cast<int>(value);
     } else if (ParsePositiveFlag(arg, "--trials", &value)) {
       trials = value;
     } else if (ParseFlag(arg, "--jobs", &value)) {
